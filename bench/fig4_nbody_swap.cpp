@@ -1,0 +1,125 @@
+// Reproduces Figure 4 of the paper: "Emulated application progress during
+// N-body demonstration run".
+//
+// The MicroGrid virtual grid of §4.2.2 (UTK 3×550 MHz P-II, UIUC 3×450 MHz
+// P-II, one 1.7 GHz UCSD Athlon; 30 ms UCSD↔others, 11 ms UTK↔UIUC) is
+// instantiated from its DML description. An N-body simulation starts with
+// all three active processes on UTK and three inactive processes on UIUC.
+// At t = 80 s two competitive processes land on one UTK machine; the swap
+// rescheduler detects the slowdown and migrates all three workers to the
+// UIUC cluster (~t = 150 s), after which progress speeds back up.
+
+#include <iostream>
+
+#include "apps/nbody.hpp"
+#include "grid/load.hpp"
+#include "microgrid/dml.hpp"
+#include "reschedule/swap.hpp"
+#include "services/nws.hpp"
+#include "sim/sync.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace grads;
+
+struct RunOutput {
+  apps::NBodyProgress progress;
+  std::vector<reschedule::SwapManager::SwapEvent> swaps;
+  double finishedAt = 0.0;
+};
+
+RunOutput runSwapDemo(reschedule::SwapPolicy policy, bool emulated) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto spec = microgrid::parseDml(microgrid::swapExperimentDml());
+  const microgrid::EmulationOptions emu;
+  microgrid::instantiate(g, spec, emulated ? &emu : nullptr);
+
+  services::Nws nws(eng, g, 10.0, 0.01, 7);
+  nws.start();
+
+  const auto utkNodes = g.clusterNodes(*g.findCluster("utk"));
+  const auto uiucNodes = g.clusterNodes(*g.findCluster("uiuc"));
+
+  // Two competitive processes on one UTK machine at t = 80 s.
+  grid::applyLoadTrace(eng, g.node(utkNodes[0]),
+                       grid::LoadTrace::stepAt(80.0, 2.0));
+
+  apps::NBodyConfig cfg;
+  cfg.particles = 10000;
+  cfg.iterations = 100;
+
+  // All three active processes start on the UTK nodes; the UIUC nodes form
+  // the inactive pool.
+  vmpi::World world(g, {utkNodes[0], utkNodes[1], utkNodes[2]}, "nbody");
+  std::vector<grid::NodeId> pool = utkNodes;
+  pool.insert(pool.end(), uiucNodes.begin(), uiucNodes.end());
+
+  reschedule::SwapConfig scfg;
+  scfg.policy = policy;
+  scfg.checkPeriodSec = 10.0;
+  scfg.flopsPerRankPerIteration = apps::nbodyIterationFlopsPerRank(cfg, 3);
+  scfg.messagesPerIteration = 4.0;
+  scfg.perProcessDataBytes = 8.0 * 1024 * 1024;
+  reschedule::SwapManager swap(world, pool, &nws, scfg);
+  swap.start();
+
+  RunOutput out;
+  autopilot::AutopilotManager autopilot(eng);
+  sim::JoinSet ranks(eng);
+  for (int r = 0; r < 3; ++r) {
+    ranks.spawn(apps::nbodyRank(world, &swap, cfg, r, &autopilot, "nbody",
+                                &out.progress));
+  }
+  eng.spawn(
+      [](sim::JoinSet& js, RunOutput* out, sim::Engine& e) -> sim::Task {
+        co_await js.join();
+        out->finishedAt = e.now();
+      }(ranks, &out, eng),
+      "driver");
+  eng.run();
+  out.swaps = swap.history();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto swapRun =
+      runSwapDemo(reschedule::SwapPolicy::kModelBased, /*emulated=*/true);
+  const auto noSwapRun =
+      runSwapDemo(reschedule::SwapPolicy::kNever, /*emulated=*/true);
+
+  // Both runs complete the same 100 iterations; align the series on the
+  // iteration index (the paper plots iteration vs time for the swap run).
+  util::Table series({"iteration", "time_swap_s", "time_noswap_s"});
+  for (std::size_t i = 0; i < swapRun.progress.samples.size(); i += 5) {
+    series.addRow({static_cast<std::int64_t>(swapRun.progress.samples[i].second),
+                   swapRun.progress.samples[i].first,
+                   i < noSwapRun.progress.samples.size()
+                       ? noSwapRun.progress.samples[i].first
+                       : 0.0});
+  }
+  series.print(std::cout,
+               "Figure 4 — N-body progress under process swapping "
+               "(iteration completed vs virtual time)");
+
+  util::Table csv({"time_s", "iteration"});
+  for (const auto& [t, iter] : swapRun.progress.samples) {
+    csv.addRow({t, static_cast<std::int64_t>(iter)});
+  }
+  csv.saveCsv("fig4_nbody_swap.csv");
+
+  std::cout << "\nSwap events:\n";
+  for (const auto& e : swapRun.swaps) {
+    std::cout << "  t=" << e.time << " s: rank " << e.rank << " moved\n";
+  }
+  std::cout << "Completion with swapping:    " << swapRun.finishedAt
+            << " s\nCompletion without swapping: " << noSwapRun.finishedAt
+            << " s\n";
+  std::cout << "\nPaper's qualitative result: load lands at t=80 s, all three"
+               " workers are on the UIUC cluster by ~t=150 s, and the"
+               " progress slope recovers after the swap.\n";
+  return 0;
+}

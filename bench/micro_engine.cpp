@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the simulation substrate: event-queue
+// throughput, coroutine process churn, and processor-sharing dynamics. These
+// bound how large a MicroGrid-style experiment the engine can sustain.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/sync.hpp"
+
+using namespace grads;
+
+namespace {
+
+void BM_EventThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      eng.schedule(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(10000)->Arg(100000);
+
+sim::Task pingPong(sim::Engine& eng, sim::Channel<int>& a,
+                   sim::Channel<int>& b, int rounds, bool starter) {
+  for (int i = 0; i < rounds; ++i) {
+    if (starter) {
+      a.send(i);
+      co_await b.recv();
+    } else {
+      const int v = co_await a.recv();
+      b.send(v);
+    }
+  }
+  (void)eng;
+}
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng);
+    sim::Channel<int> b(eng);
+    eng.spawn(pingPong(eng, a, b, rounds, true));
+    eng.spawn(pingPong(eng, a, b, rounds, false));
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rounds * 2);
+}
+BENCHMARK(BM_CoroutinePingPong)->Arg(1000)->Arg(10000);
+
+void BM_ProcessSpawnJoin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::JoinSet js(eng);
+    for (int i = 0; i < n; ++i) {
+      js.spawn([](sim::Engine& e, double dt) -> sim::Task {
+        co_await sim::sleepFor(e, dt);
+      }(eng, static_cast<double>(i % 13)));
+    }
+    eng.spawn(js.join());
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ProcessSpawnJoin)->Arg(100)->Arg(1000);
+
+void BM_PsResourceChurn(benchmark::State& state) {
+  // Many overlapping jobs on one shared resource — every arrival/finish
+  // triggers an advance+replan over the job list.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::PsResource cpu(eng, 1000.0);
+    sim::JoinSet js(eng);
+    for (int i = 0; i < n; ++i) {
+      js.spawn([](sim::PsResource& r, double work) -> sim::Task {
+        co_await r.consume(work);
+      }(cpu, 100.0 + i % 50));
+    }
+    eng.spawn(js.join());
+    eng.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PsResourceChurn)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// google-benchmark microbenchmarks of the memory-modeling substrate: the
+// Fenwick-tree reuse-distance analyzer and the set-associative cache
+// simulator, which bound the cost of training §3.2 performance models.
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hpp"
+#include "mem/reuse.hpp"
+#include "mem/trace.hpp"
+#include "perfmodel/kernel_model.hpp"
+
+using namespace grads;
+
+namespace {
+
+void BM_ReuseDistanceMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::size_t accesses = 0;
+  for (auto _ : state) {
+    mem::ReuseDistanceAnalyzer rd;
+    mem::traceMatmul(n, 8, rd.sink());
+    accesses = rd.accesses();
+    benchmark::DoNotOptimize(rd.global().coldMisses());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_ReuseDistanceMatmul)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CacheSimMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mem::LruCacheSim cache(4096, 8);
+    mem::traceMatmul(n, 8, cache.sink());
+    benchmark::DoNotOptimize(cache.misses());
+  }
+}
+BENCHMARK(BM_CacheSimMatmul)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TrainQrModel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto model = perfmodel::trainQrModel({16, 24, 32, 48});
+    benchmark::DoNotOptimize(model.predictFlops(1000.0));
+  }
+}
+BENCHMARK(BM_TrainQrModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the workflow scheduler: how heuristic
+// scheduling cost scales with DAG size and resource count (the rank matrix
+// is |C|×|G| and the batch heuristics re-scan it each placement).
+
+#include <benchmark/benchmark.h>
+
+#include "grid/testbeds.hpp"
+#include "services/gis.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/scheduler.hpp"
+
+using namespace grads;
+
+namespace {
+
+struct Setup {
+  sim::Engine eng;
+  grid::Grid g{eng};
+  std::unique_ptr<services::Gis> gis;
+  std::unique_ptr<workflow::GridEstimator> truth;
+
+  Setup() {
+    grid::buildMacroGrid(g);
+    gis = std::make_unique<services::Gis>(g);
+    truth = std::make_unique<workflow::GridEstimator>(*gis, nullptr);
+  }
+};
+
+void BM_MinMinSweep(benchmark::State& state) {
+  Setup s;
+  Rng rng(1);
+  const auto dag = workflow::makeParameterSweep(
+      static_cast<std::size_t>(state.range(0)), rng);
+  workflow::WorkflowScheduler ws(*s.truth, s.g.allNodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ws.schedule(dag, workflow::Heuristic::kMinMin).makespan);
+  }
+}
+BENCHMARK(BM_MinMinSweep)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BestOfThreeLayered(benchmark::State& state) {
+  Setup s;
+  Rng rng(2);
+  const auto dag = workflow::makeRandomLayered(
+      static_cast<std::size_t>(state.range(0)), 8, rng);
+  workflow::WorkflowScheduler ws(*s.truth, s.g.allNodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ws.schedule(dag, workflow::Heuristic::kBestOfThree).makespan);
+  }
+}
+BENCHMARK(BM_BestOfThreeLayered)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SufferageLigo(benchmark::State& state) {
+  Setup s;
+  Rng rng(3);
+  const auto dag = workflow::makeLigoLike(
+      static_cast<std::size_t>(state.range(0)), rng);
+  workflow::WorkflowScheduler ws(*s.truth, s.g.allNodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ws.schedule(dag, workflow::Heuristic::kSufferage).makespan);
+  }
+}
+BENCHMARK(BM_SufferageLigo)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// NWS forecaster battery evaluation: per-forecaster mean absolute error on
+// synthetic CPU-availability series with different dynamics, plus the
+// battery's dynamic best-pick. Mirrors the methodology of the Network
+// Weather Service papers the GrADS schedulers rely on ([25]).
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "services/nws.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace grads;
+
+namespace {
+
+using Series = std::vector<double>;
+
+Series stationaryNoisy(Rng& rng, std::size_t n) {
+  Series s;
+  for (std::size_t i = 0; i < n; ++i) s.push_back(0.6 + rng.normal(0.0, 0.05));
+  return s;
+}
+
+Series spiky(Rng& rng, std::size_t n) {
+  Series s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(rng.uniform() < 0.08 ? 0.1 : 0.8 + rng.normal(0.0, 0.02));
+  }
+  return s;
+}
+
+Series stepChange(Rng& rng, std::size_t n) {
+  Series s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double level = i < n / 2 ? 0.9 : 0.3;
+    s.push_back(level + rng.normal(0.0, 0.03));
+  }
+  return s;
+}
+
+Series meanReverting(Rng& rng, std::size_t n) {
+  Series s;
+  double x = 0.5;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = 0.5 + 0.85 * (x - 0.5) + rng.normal(0.0, 0.04);
+    s.push_back(x);
+  }
+  return s;
+}
+
+Series periodic(Rng& rng, std::size_t n) {
+  Series s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(0.5 +
+                0.3 * std::sin(2.0 * std::numbers::pi * i / 24.0) +
+                rng.normal(0.0, 0.03));
+  }
+  return s;
+}
+
+double maeOf(services::Forecaster& f, const Series& s) {
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) {
+      err += std::abs(f.forecast() - s[i]);
+      ++n;
+    }
+    f.update(s[i]);
+  }
+  return err / static_cast<double>(n);
+}
+
+double batteryMae(const Series& s) {
+  services::ForecasterBattery battery;
+  double err = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) {
+      err += std::abs(battery.forecast() - s[i]);
+      ++n;
+    }
+    battery.addMeasurement(s[i]);
+  }
+  return err / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kLen = 600;
+  Rng rng(2003);
+  const std::vector<std::pair<std::string, Series>> series{
+      {"stationary", stationaryNoisy(rng, kLen)},
+      {"spiky", spiky(rng, kLen)},
+      {"step-change", stepChange(rng, kLen)},
+      {"mean-reverting", meanReverting(rng, kLen)},
+      {"periodic", periodic(rng, kLen)},
+  };
+
+  util::Table table({"series", "last-value", "running-mean", "sliding-mean10",
+                     "sliding-median5", "exp-0.2", "ar1", "battery"});
+  for (const auto& [name, s] : series) {
+    auto lv = services::makeLastValue();
+    auto rm = services::makeRunningMean();
+    auto sm = services::makeSlidingMean(10);
+    auto md = services::makeSlidingMedian(5);
+    auto ex = services::makeExpSmoothing(0.2);
+    auto ar = services::makeAr1();
+    table.addRow({name, maeOf(*lv, s), maeOf(*rm, s), maeOf(*sm, s),
+                  maeOf(*md, s), maeOf(*ex, s), maeOf(*ar, s), batteryMae(s)});
+  }
+  table.print(std::cout,
+              "NWS forecaster battery — mean absolute error by series "
+              "dynamics (lower is better)");
+  table.saveCsv("nws_forecasters.csv");
+
+  std::cout << "\nExpected shape: no single forecaster wins everywhere"
+               " (median on spikes, AR(1) on mean-reversion, windowed means"
+               " after step changes) — which is why NWS picks dynamically;"
+               " the battery tracks the per-series winner closely.\n";
+  return 0;
+}

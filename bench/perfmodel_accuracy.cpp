@@ -1,0 +1,105 @@
+// Validates the §3.2 component performance-modeling technique: flop models
+// fitted by least squares on *small* instrumented runs, and cache-miss
+// predictions from memory-reuse-distance scaling models, evaluated against
+// exact counts / direct cache simulation at larger, unseen problem sizes.
+
+#include <iostream>
+
+#include "grid/node.hpp"
+#include "mem/cache.hpp"
+#include "mem/reuse.hpp"
+#include "perfmodel/kernel_model.hpp"
+#include "util/table.hpp"
+
+using namespace grads;
+
+namespace {
+
+struct Kernel {
+  std::string name;
+  perfmodel::KernelModel model;
+  std::function<void(std::size_t, mem::TraceSink)> tracer;
+  std::function<double(std::size_t)> flops;
+  std::vector<std::size_t> evalSizes;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Kernel> kernels;
+  kernels.push_back({"matmul",
+                     perfmodel::trainMatmulModel({16, 24, 32, 40, 48}),
+                     [](std::size_t n, mem::TraceSink s) {
+                       mem::traceMatmul(n, perfmodel::kModelElementsPerBlock,
+                                        std::move(s));
+                     },
+                     [](std::size_t n) { return mem::matmulFlopCount(n); },
+                     {64, 96, 128}});
+  kernels.push_back({"qr",
+                     perfmodel::trainQrModel({24, 32, 48, 64, 80}),
+                     [](std::size_t n, mem::TraceSink s) {
+                       mem::traceQr(n, perfmodel::kModelElementsPerBlock,
+                                    std::move(s));
+                     },
+                     [](std::size_t n) { return mem::qrFlopCount(n); },
+                     {128, 192, 256}});
+  kernels.push_back({"nbody",
+                     perfmodel::trainNBodyModel({64, 96, 128, 192}),
+                     [](std::size_t n, mem::TraceSink s) {
+                       mem::traceNBody(n, perfmodel::kModelElementsPerBlock,
+                                       std::move(s));
+                     },
+                     [](std::size_t n) { return mem::nbodyFlopCount(n); },
+                     {512, 1024}});
+  kernels.push_back({"stencil",
+                     perfmodel::trainStencilModel({256, 512, 1024, 2048}),
+                     [](std::size_t n, mem::TraceSink s) {
+                       mem::traceStencil(n, 4,
+                                         perfmodel::kModelElementsPerBlock,
+                                         std::move(s));
+                     },
+                     [](std::size_t n) { return mem::stencilFlopCount(n, 4); },
+                     {8192, 16384}});
+
+  util::Table flopsTable(
+      {"kernel", "size", "flops_exact", "flops_predicted", "rel_err_pct"});
+  util::Table missTable({"kernel", "size", "cache_kb", "misses_simulated",
+                         "misses_predicted", "ratio"});
+
+  for (auto& k : kernels) {
+    for (const auto n : k.evalSizes) {
+      const double exact = k.flops(n);
+      const double pred = k.model.predictFlops(static_cast<double>(n));
+      flopsTable.addRow({k.name, static_cast<std::int64_t>(n), exact, pred,
+                         100.0 * std::abs(pred - exact) / exact});
+
+      for (const std::size_t cacheKb : {16, 64, 256}) {
+        grid::CacheGeometry cache{cacheKb * 1024,
+                                  perfmodel::kModelBlockBytes, 8};
+        mem::ReuseDistanceAnalyzer rd;
+        k.tracer(n, rd.sink());
+        const auto sim = static_cast<double>(rd.global().missesForCapacity(
+            cache.sizeBytes / cache.lineBytes));
+        const double pred2 =
+            k.model.predictMisses(static_cast<double>(n), cache);
+        missTable.addRow({k.name, static_cast<std::int64_t>(n),
+                          static_cast<std::int64_t>(cacheKb), sim, pred2,
+                          sim > 0.0 ? pred2 / sim : 0.0});
+      }
+    }
+  }
+
+  flopsTable.print(std::cout,
+                   "§3.2 — flop models: least-squares fits trained on small "
+                   "sizes, evaluated at unseen larger sizes");
+  missTable.print(std::cout,
+                  "§3.2 — MRD cache-miss models vs direct LRU simulation");
+  flopsTable.saveCsv("perfmodel_flops.csv");
+  missTable.saveCsv("perfmodel_misses.csv");
+
+  std::cout << "\nExpected shape: flop predictions within a fraction of a "
+               "percent (polynomial counts are fit exactly); miss-count "
+               "ratios near 1 in miss-heavy regimes, drifting where the "
+               "bucketed quantile model coarsens.\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "apps/qr_numeric.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace grads::apps {
+
+namespace {
+/// Reflector payload shipped between ranks: v (rows k..n-1) and its norm².
+struct Reflector {
+  std::size_t k = 0;
+  std::vector<double> v;
+  double vnorm2 = 0.0;
+};
+
+constexpr int kReflectorTag = 500000;
+constexpr int kGatherTag = 500001;
+}  // namespace
+
+struct NumericDistributedQr::ColumnStore {
+  // Full column-major storage of the columns this rank owns (column j is
+  // owned by rank j mod P; unowned columns stay empty).
+  std::vector<std::vector<double>> cols;
+};
+
+NumericDistributedQr::NumericDistributedQr(vmpi::World& world, linalg::Matrix a)
+    : world_(&world), n_(a.rows()), r_(a.rows(), a.cols()) {
+  GRADS_REQUIRE(a.rows() == a.cols(),
+                "NumericDistributedQr: square matrices only");
+  const int p = world.size();
+  stores_.resize(static_cast<std::size_t>(p));
+  for (int rank = 0; rank < p; ++rank) {
+    auto store = std::make_shared<ColumnStore>();
+    store->cols.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (static_cast<int>(j % static_cast<std::size_t>(p)) != rank) continue;
+      store->cols[j].resize(n_);
+      for (std::size_t i = 0; i < n_; ++i) store->cols[j][i] = a(i, j);
+    }
+    stores_[static_cast<std::size_t>(rank)] = store;
+  }
+}
+
+const linalg::Matrix& NumericDistributedQr::result() const {
+  GRADS_REQUIRE(finished_, "NumericDistributedQr: result not ready");
+  return r_;
+}
+
+sim::Task NumericDistributedQr::rankTask(int rank) {
+  vmpi::World& w = *world_;
+  const int p = w.size();
+  ColumnStore& mine = *stores_[static_cast<std::size_t>(rank)];
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    const int owner = static_cast<int>(k % static_cast<std::size_t>(p));
+    auto reflector = std::make_shared<Reflector>();
+    reflector->k = k;
+
+    if (rank == owner) {
+      // Build the Householder vector from column k (rows k..n-1) and write
+      // the column's final R values in place.
+      auto& col = mine.cols[k];
+      double normx = 0.0;
+      for (std::size_t i = k; i < n_; ++i) normx += col[i] * col[i];
+      normx = std::sqrt(normx);
+      const double alpha = col[k] >= 0.0 ? -normx : normx;
+      reflector->v.assign(n_ - k, 0.0);
+      for (std::size_t i = k; i < n_; ++i) {
+        reflector->v[i - k] = col[i];
+        if (i == k) reflector->v[i - k] -= alpha;
+        reflector->vnorm2 += reflector->v[i - k] * reflector->v[i - k];
+      }
+      col[k] = alpha;
+      for (std::size_t i = k + 1; i < n_; ++i) col[i] = 0.0;
+      flops_ += 4.0 * static_cast<double>(n_ - k);
+
+      // Ship the reflector to every peer (bytes = the vector's size).
+      const double bytes = static_cast<double>(n_ - k) * 8.0 + 16.0;
+      for (int dst = 0; dst < p; ++dst) {
+        if (dst == rank) continue;
+        co_await w.send(rank, dst, bytes, kReflectorTag, reflector);
+      }
+    } else {
+      vmpi::Message m;
+      co_await w.recv(rank, owner, kReflectorTag, &m);
+      reflector = std::any_cast<std::shared_ptr<Reflector>>(m.payload);
+      GRADS_ASSERT(reflector->k == k, "numeric qr: reflector out of order");
+    }
+
+    // Apply H = I − 2 v vᵀ / (vᵀv) to every owned column j > k.
+    if (reflector->vnorm2 > 0.0) {
+      std::size_t updated = 0;
+      for (std::size_t j = k + 1; j < n_; ++j) {
+        if (static_cast<int>(j % static_cast<std::size_t>(p)) != rank) continue;
+        auto& col = mine.cols[j];
+        double dot = 0.0;
+        for (std::size_t i = k; i < n_; ++i) {
+          dot += reflector->v[i - k] * col[i];
+        }
+        const double f = 2.0 * dot / reflector->vnorm2;
+        for (std::size_t i = k; i < n_; ++i) {
+          col[i] -= f * reflector->v[i - k];
+        }
+        ++updated;
+      }
+      const double updateFlops =
+          4.0 * static_cast<double>(n_ - k) * static_cast<double>(updated);
+      flops_ += updateFlops;
+      co_await w.compute(rank, std::max(1.0, updateFlops));
+    }
+  }
+
+  // Gather the owned columns of R on rank 0.
+  if (rank == 0) {
+    auto writeCols = [this](const ColumnStore& store) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (store.cols[j].empty()) continue;
+        for (std::size_t i = 0; i <= j && i < n_; ++i) {
+          r_(i, j) = store.cols[j][i];
+        }
+      }
+    };
+    writeCols(mine);
+    ++gathered_;
+    for (int src = 1; src < p; ++src) {
+      vmpi::Message m;
+      co_await w.recv(0, src, kGatherTag, &m);
+      writeCols(*std::any_cast<std::shared_ptr<ColumnStore>>(m.payload));
+      ++gathered_;
+    }
+    finished_ = true;
+  } else {
+    const double bytes =
+        static_cast<double>(n_) * static_cast<double>(n_) * 8.0 /
+        static_cast<double>(p);
+    co_await w.send(rank, 0, bytes, kGatherTag,
+                    stores_[static_cast<std::size_t>(rank)]);
+  }
+}
+
+}  // namespace grads::apps

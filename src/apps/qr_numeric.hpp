@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+
+#include "linalg/matrix.hpp"
+#include "vmpi/world.hpp"
+
+namespace grads::apps {
+
+/// A *numeric* distributed Householder QR over the virtual MPI runtime:
+/// columns are distributed cyclically across ranks, each step's owner
+/// computes the reflector from its column and sends it to the peers, and
+/// everyone updates its owned trailing columns — real floating-point math
+/// riding the simulated network (message payloads carry the reflectors).
+///
+/// This validates that the simulated ScaLAPACK-style driver (`QrApp`) has
+/// the communication/computation structure of a correct distributed
+/// factorization: the R produced here is checked bit-for-bit (up to fp
+/// roundoff) against the sequential `linalg::householderQr`.
+class NumericDistributedQr {
+ public:
+  NumericDistributedQr(vmpi::World& world, linalg::Matrix a);
+
+  /// The per-rank coroutine; spawn one per world rank.
+  sim::Task rankTask(int rank);
+
+  /// Valid after all rank tasks complete: the upper-triangular factor,
+  /// assembled on rank 0.
+  const linalg::Matrix& result() const;
+  bool finished() const { return finished_; }
+
+  /// Exact flops a full run performs (for cross-checking against the
+  /// simulated driver's cost model).
+  double flopsPerformed() const { return flops_; }
+
+ private:
+  struct ColumnStore;  // per-rank owned columns
+
+  vmpi::World* world_;
+  std::size_t n_;
+  std::vector<std::shared_ptr<ColumnStore>> stores_;
+  linalg::Matrix r_;
+  bool finished_ = false;
+  double flops_ = 0.0;
+  int gathered_ = 0;
+};
+
+}  // namespace grads::apps

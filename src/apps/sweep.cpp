@@ -1,0 +1,170 @@
+#include "apps/sweep.hpp"
+
+#include <algorithm>
+
+#include "autopilot/sensor.hpp"
+#include "services/gis.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace grads::apps {
+
+namespace {
+constexpr int kRequestTag = 600000;
+constexpr int kDispatchTag = 600001;
+constexpr double kHaltTask = -1.0;
+}  // namespace
+
+double sweepTaskFlops(const SweepConfig& cfg, std::size_t task) {
+  // Deterministic hash of (seed, task) → uniform in [flopsMin, flopsMax].
+  Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + task + 1);
+  return rng.uniform(cfg.flopsMin, cfg.flopsMax);
+}
+
+double sweepMeanTaskFlops(const SweepConfig& cfg) {
+  return 0.5 * (cfg.flopsMin + cfg.flopsMax);
+}
+
+std::size_t sweepPhaseCount(const SweepConfig& cfg) {
+  GRADS_REQUIRE(cfg.tasks > 0 && cfg.tasksPerPhase > 0,
+                "SweepConfig: tasks and tasksPerPhase must be positive");
+  return (cfg.tasks + cfg.tasksPerPhase - 1) / cfg.tasksPerPhase;
+}
+
+SweepPerfModel::SweepPerfModel(const grid::Grid& grid, SweepConfig cfg)
+    : grid_(&grid), cfg_(cfg) {}
+
+std::size_t SweepPerfModel::totalPhases() const {
+  return sweepPhaseCount(cfg_);
+}
+
+double SweepPerfModel::phaseSeconds(const std::vector<grid::NodeId>& mapping,
+                                    std::size_t phase,
+                                    const services::Nws* nws,
+                                    core::RateView view) const {
+  GRADS_REQUIRE(mapping.size() >= 2, "SweepPerfModel: need master + worker");
+  // Workers are ranks 1..p−1; self-scheduling means their rates *add*.
+  double aggregate = 0.0;
+  for (std::size_t r = 1; r < mapping.size(); ++r) {
+    double rate = grid_->node(mapping[r]).spec().effectiveFlopsPerCpu();
+    if (nws != nullptr) {
+      rate = view == core::RateView::kIncumbent
+                 ? nws->incumbentRate(mapping[r])
+                 : nws->effectiveRate(mapping[r]);
+    }
+    aggregate += rate;
+  }
+  GRADS_REQUIRE(aggregate > 0.0, "SweepPerfModel: zero aggregate rate");
+  const std::size_t first = phase * cfg_.tasksPerPhase;
+  const std::size_t last = std::min(cfg_.tasks, first + cfg_.tasksPerPhase);
+  double flops = 0.0;
+  for (std::size_t t = first; t < last; ++t) flops += sweepTaskFlops(cfg_, t);
+  // Dispatch/result traffic per task, priced against the master's link.
+  double comm = 0.0;
+  if (mapping.size() > 1) {
+    comm = static_cast<double>(last - first) *
+           grid_->transferEstimate(mapping[0], mapping[1],
+                                   cfg_.inputBytesPerTask +
+                                       cfg_.resultBytesPerTask) /
+           static_cast<double>(mapping.size() - 1);
+  }
+  return flops / aggregate + comm;
+}
+
+namespace {
+
+sim::Task sweepMaster(core::LaunchContext& ctx, SweepConfig cfg) {
+  vmpi::World& w = *ctx.world;
+  const int workers = w.size() - 1;
+
+  if (ctx.restored && ctx.srs != nullptr) {
+    co_await ctx.srs->restoreCheckpoint(0);
+  }
+
+  std::size_t nextTask = ctx.startPhase * cfg.tasksPerPhase;
+  std::size_t completed = nextTask;
+  std::size_t dispatched = nextTask;
+  int halted = 0;
+  bool stopping = false;
+  double phaseStart = w.engine().now();
+
+  while (halted < workers) {
+    vmpi::Message m;
+    co_await w.recv(0, vmpi::kAnySource, kRequestTag, &m);
+    const bool isResult = std::any_cast<double>(m.payload) >= 0.0;
+    if (isResult) {
+      ++completed;
+      if (ctx.autopilot != nullptr && completed % cfg.tasksPerPhase == 0) {
+        ctx.autopilot->report(autopilot::phaseTimeChannel(ctx.appName),
+                              w.engine().now() - phaseStart);
+        phaseStart = w.engine().now();
+      }
+      continue;
+    }
+    // A work request. Poll the RSS daemon before dispatching more.
+    if (ctx.srs != nullptr &&
+        (ctx.srs->stopRequested() || ctx.srs->failureSignaled())) {
+      stopping = true;
+    }
+    if (!stopping && nextTask < cfg.tasks) {
+      co_await w.send(0, m.src, cfg.inputBytesPerTask, kDispatchTag,
+                      static_cast<double>(nextTask));
+      ++nextTask;
+      ++dispatched;
+    } else {
+      co_await w.send(0, m.src, 64.0, kDispatchTag, kHaltTask);
+      ++halted;
+    }
+  }
+  // All workers halted; in-flight results were consumed above because a
+  // worker only requests after its result is delivered.
+  GRADS_ASSERT(completed == dispatched, "sweep: lost results");
+
+  // Completed phases round up for progress reporting, but a restart must
+  // resume from the last *fully* completed phase boundary.
+  ctx.completedPhases =
+      (completed + cfg.tasksPerPhase - 1) / cfg.tasksPerPhase;
+  if (stopping) {
+    if (ctx.srs != nullptr && !ctx.srs->failureSignaled()) {
+      co_await ctx.srs->writeCheckpoint(0);
+      ctx.srs->storeIteration(completed / cfg.tasksPerPhase);
+    }
+    ctx.stopped = true;
+  }
+}
+
+sim::Task sweepWorker(core::LaunchContext& ctx, int rank, SweepConfig cfg) {
+  vmpi::World& w = *ctx.world;
+  while (true) {
+    // Request work (payload < 0 marks a request, >= 0 a result).
+    co_await w.send(rank, 0, 64.0, kRequestTag, -1.0);
+    vmpi::Message m;
+    co_await w.recv(rank, 0, kDispatchTag, &m);
+    const double task = std::any_cast<double>(m.payload);
+    if (task < 0.0) co_return;  // halt
+    co_await w.compute(rank, sweepTaskFlops(cfg, static_cast<std::size_t>(task)));
+    co_await w.send(rank, 0, cfg.resultBytesPerTask, kRequestTag, task);
+  }
+}
+
+}  // namespace
+
+core::Cop makeSweepCop(const grid::Grid& grid, SweepConfig cfg) {
+  core::Cop cop;
+  cop.name = "param-sweep-" + std::to_string(cfg.tasks);
+  auto model = std::make_shared<SweepPerfModel>(grid, cfg);
+  cop.perfModel = model;
+  cop.mapper = std::make_shared<core::BestClusterMapper>(grid, *model);
+  cop.code = [cfg](core::LaunchContext& ctx, int rank) {
+    return rank == 0 ? sweepMaster(ctx, cfg) : sweepWorker(ctx, rank, cfg);
+  };
+  cop.requiredSoftware = {services::software::kSrsLibrary,
+                          services::software::kAutopilotSensors};
+  cop.checkpointArrays = {
+      {"results",
+       static_cast<double>(cfg.tasks) * cfg.resultBytesPerTask},
+  };
+  return cop;
+}
+
+}  // namespace grads::apps

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/cop.hpp"
+#include "grid/grid.hpp"
+
+namespace grads::apps {
+
+/// Master–worker parameter-sweep application — the application class the
+/// GrADS scheduling heuristics were originally built for ("Heuristics for
+/// scheduling parameter sweep applications in grid environments" [3]).
+///
+/// Rank 0 coordinates: workers self-schedule by requesting tasks
+/// (any-source receives at the master), so heterogeneous and time-varying
+/// node speeds balance automatically. The master is the only stateful rank
+/// (accumulated results), which makes stop/migrate/restart almost free: the
+/// checkpoint is the result set plus a completed-task counter.
+struct SweepConfig {
+  std::size_t tasks = 128;
+  double flopsMin = 2e9;
+  double flopsMax = 4e10;
+  double inputBytesPerTask = 256.0 * 1024;
+  double resultBytesPerTask = 64.0 * 1024;
+  std::uint64_t seed = 1;
+  /// Completions per reported phase (sensor granularity).
+  std::size_t tasksPerPhase = 8;
+};
+
+/// Deterministic per-task work (what the "parameter" controls).
+double sweepTaskFlops(const SweepConfig& cfg, std::size_t task);
+/// Mean task flops under the config's distribution.
+double sweepMeanTaskFlops(const SweepConfig& cfg);
+std::size_t sweepPhaseCount(const SweepConfig& cfg);
+
+/// Performance model: self-scheduling aggregates worker rates (no slowest-
+/// rank gating — the opposite regime from the synchronous QR).
+class SweepPerfModel final : public core::AppPerfModel {
+ public:
+  SweepPerfModel(const grid::Grid& grid, SweepConfig cfg);
+
+  std::size_t totalPhases() const override;
+  double phaseSeconds(const std::vector<grid::NodeId>& mapping,
+                      std::size_t phase, const services::Nws* nws,
+                      core::RateView view = core::RateView::kIncumbent)
+      const override;
+
+ private:
+  const grid::Grid* grid_;
+  SweepConfig cfg_;
+};
+
+/// Builds the sweep COP (code + model + mapper + checkpoint payload).
+core::Cop makeSweepCop(const grid::Grid& grid, SweepConfig cfg);
+
+}  // namespace grads::apps

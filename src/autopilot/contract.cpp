@@ -1,0 +1,134 @@
+#include "autopilot/contract.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::autopilot {
+
+PerformanceContract::PerformanceContract(std::string app, Predictor predictor)
+    : app_(std::move(app)), predictor_(std::move(predictor)) {
+  GRADS_REQUIRE(static_cast<bool>(predictor_),
+                "PerformanceContract: empty predictor");
+}
+
+double PerformanceContract::predictedPhaseSeconds(std::size_t phase) const {
+  const double p = predictor_(phase);
+  GRADS_REQUIRE(p > 0.0, "PerformanceContract: non-positive prediction");
+  return p;
+}
+
+void PerformanceContract::updateTerms(Predictor predictor) {
+  GRADS_REQUIRE(static_cast<bool>(predictor),
+                "PerformanceContract::updateTerms: empty predictor");
+  predictor_ = std::move(predictor);
+}
+
+ContractMonitor::ContractMonitor(sim::Engine& engine,
+                                 PerformanceContract contract)
+    : ContractMonitor(engine, std::move(contract), Options{}) {}
+
+ContractMonitor::ContractMonitor(sim::Engine& engine,
+                                 PerformanceContract contract, Options options)
+    : engine_(&engine),
+      contract_(std::move(contract)),
+      opts_(options),
+      upper_(options.upperTolerance),
+      lower_(options.lowerTolerance) {
+  GRADS_REQUIRE(opts_.upperTolerance > 1.0,
+                "ContractMonitor: upper tolerance must exceed 1");
+  GRADS_REQUIRE(opts_.lowerTolerance > 0.0 && opts_.lowerTolerance < 1.0,
+                "ContractMonitor: lower tolerance must be in (0,1)");
+  GRADS_REQUIRE(opts_.window >= 1, "ContractMonitor: empty window");
+}
+
+void ContractMonitor::attachTo(AutopilotManager& manager,
+                               const std::string& channel) {
+  manager.attach(channel,
+                 [this](const Reading& r) { onPhaseTime(r.value); });
+}
+
+double ContractMonitor::averageRatio() const {
+  if (ratios_.empty()) return lastRatio_;
+  return std::accumulate(ratios_.begin(), ratios_.end(), 0.0) /
+         static_cast<double>(ratios_.size());
+}
+
+double ContractMonitor::trend() const {
+  if (ratios_.size() < 2) return 0.0;
+  return (ratios_.back() - ratios_.front()) /
+         static_cast<double>(ratios_.size() - 1);
+}
+
+void ContractMonitor::confirmAndRaise(double ratio) {
+  const double avg = averageRatio();
+  bool confirmed = false;
+  if (opts_.mode == DecisionMode::kThresholdAverage) {
+    // Paper §4.1.1: "the contract monitor calculates the average of the
+    // computed ratios. If the average is greater than the upper tolerance
+    // limit, it contacts the rescheduler."
+    confirmed = avg > upper_;
+  } else {
+    const double score = fuzzy_.infer({avg, trend()});
+    confirmed = score >= opts_.fuzzyThreshold;
+  }
+  if (!confirmed) return;
+
+  ++violations_;
+  ViolationReport report{contract_.app(), phase_, ratio, avg, engine_->now()};
+  GRADS_INFO("contract") << contract_.app() << ": violation at phase "
+                         << phase_ << " ratio=" << ratio << " avg=" << avg;
+  RescheduleOutcome outcome = RescheduleOutcome::kDeclined;
+  if (request_) outcome = request_(report);
+  if (viewer_ != nullptr) {
+    viewer_->recordViolation(
+        contract_.app(),
+        ContractViewer::ViolationRecord{
+            engine_->now(), phase_, avg,
+            outcome == RescheduleOutcome::kMigrated});
+  }
+  if (outcome == RescheduleOutcome::kDeclined) {
+    // "If the rescheduler chooses not to migrate the application, the
+    // contract monitor adjusts its tolerance limits to new values."
+    upper_ = std::max(upper_ * 1.1, avg * 1.1);
+    GRADS_DEBUG("contract") << contract_.app()
+                            << ": rescheduler declined; upper tolerance now "
+                            << upper_;
+  }
+}
+
+void ContractMonitor::onPhaseTime(double actualSeconds) {
+  if (!enabled_) return;
+  GRADS_REQUIRE(actualSeconds >= 0.0, "ContractMonitor: negative phase time");
+  const double predicted = contract_.predictedPhaseSeconds(phase_);
+  const double ratio = actualSeconds / predicted;
+  lastRatio_ = ratio;
+  if (viewer_ != nullptr) {
+    viewer_->recordPhase(contract_.app(),
+                         ContractViewer::PhaseRecord{engine_->now(), phase_,
+                                                     predicted, actualSeconds,
+                                                     ratio, upper_, lower_});
+  }
+  ratios_.push_back(ratio);
+  if (ratios_.size() > opts_.window) ratios_.pop_front();
+  ++phase_;
+
+  if (ratio > upper_) {
+    confirmAndRaise(ratio);
+  } else if (ratio < lower_) {
+    // "when a given ratio is less than the lower tolerance limit, the
+    // contract monitor calculates the average of the ratios and lowers the
+    // tolerance limits, if necessary."
+    const double avg = averageRatio();
+    if (avg < lower_) {
+      lower_ = std::max(0.05, avg * 0.9);
+      upper_ = std::max(1.0 + (upper_ - 1.0) * 0.9, 1.05);
+      GRADS_DEBUG("contract") << contract_.app()
+                              << ": tightened tolerances to [" << lower_
+                              << ", " << upper_ << "]";
+    }
+  }
+}
+
+}  // namespace grads::autopilot

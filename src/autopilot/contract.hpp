@@ -1,0 +1,119 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "autopilot/fuzzy.hpp"
+#include "autopilot/viewer.hpp"
+#include "autopilot/sensor.hpp"
+
+namespace grads::autopilot {
+
+/// A performance contract: the agreement between application demands and
+/// resource capabilities [23]. For iterative applications it predicts the
+/// duration of each execution phase.
+class PerformanceContract {
+ public:
+  using Predictor = std::function<double(std::size_t phaseIndex)>;
+
+  PerformanceContract(std::string app, Predictor predictor);
+
+  const std::string& app() const { return app_; }
+  double predictedPhaseSeconds(std::size_t phase) const;
+  /// Replaces the prediction function — "the rescheduler may contact the
+  /// contract monitor to update the terms of the contract" (paper §4).
+  void updateTerms(Predictor predictor);
+
+ private:
+  std::string app_;
+  Predictor predictor_;
+};
+
+/// Report passed to the rescheduler on a contract violation.
+struct ViolationReport {
+  std::string app;
+  std::size_t phase = 0;
+  double ratio = 0.0;     ///< actual / predicted for the triggering phase
+  double avgRatio = 0.0;  ///< windowed average that confirmed the violation
+  double time = 0.0;      ///< virtual time of detection
+};
+
+/// Outcome the rescheduler reports back; determines tolerance adjustment.
+enum class RescheduleOutcome { kMigrated, kDeclined };
+
+/// Decision procedure used to confirm a violation.
+enum class DecisionMode { kThresholdAverage, kFuzzy };
+
+/// The GrADS contract monitor (paper §4.1.1):
+///  - takes periodic phase-time data from Autopilot sensors,
+///  - computes ratio = actual / predicted,
+///  - on ratio > upper tolerance, checks the *average* ratio; only a high
+///    average triggers the rescheduler (transient noise is forgiven),
+///  - if the rescheduler declines to migrate, widens its tolerance limits,
+///  - on ratio < lower tolerance, tightens the limits.
+///
+/// DecisionMode::kFuzzy instead drives the confirmation step through the
+/// Autopilot fuzzy decision engine.
+class ContractMonitor {
+ public:
+  using RescheduleRequest =
+      std::function<RescheduleOutcome(const ViolationReport&)>;
+
+  struct Options {
+    double upperTolerance = 1.5;
+    double lowerTolerance = 0.6;
+    std::size_t window = 5;        ///< ratios averaged for confirmation
+    DecisionMode mode = DecisionMode::kThresholdAverage;
+    double fuzzyThreshold = 0.5;   ///< action score that triggers a request
+  };
+
+  ContractMonitor(sim::Engine& engine, PerformanceContract contract);
+  ContractMonitor(sim::Engine& engine, PerformanceContract contract,
+                  Options options);
+
+  /// Wires the monitor to a sensor channel on the Autopilot manager.
+  void attachTo(AutopilotManager& manager, const std::string& channel);
+
+  /// Feeds one measured phase duration (called by the sensor listener).
+  void onPhaseTime(double actualSeconds);
+
+  void setRescheduleRequest(RescheduleRequest fn) { request_ = std::move(fn); }
+
+  /// Streams contract-validation activity to a Contract-Viewer recorder.
+  void setViewer(ContractViewer* viewer) { viewer_ = viewer; }
+
+  PerformanceContract& contract() { return contract_; }
+  double upperTolerance() const { return upper_; }
+  double lowerTolerance() const { return lower_; }
+  std::size_t phasesSeen() const { return phase_; }
+  std::size_t violationsRaised() const { return violations_; }
+  double lastRatio() const { return lastRatio_; }
+
+  /// Pause/resume monitoring (during migrations the app reports nothing).
+  void setEnabled(bool enabled) { enabled_ = enabled; }
+  /// Resets phase numbering after a restart on new resources.
+  void resetPhase(std::size_t phase) { phase_ = phase; ratios_.clear(); }
+
+ private:
+  double averageRatio() const;
+  double trend() const;
+  void confirmAndRaise(double ratio);
+
+  sim::Engine* engine_;
+  PerformanceContract contract_;
+  Options opts_;
+  double upper_;
+  double lower_;
+  std::deque<double> ratios_;
+  std::size_t phase_ = 0;
+  std::size_t violations_ = 0;
+  double lastRatio_ = 1.0;
+  bool enabled_ = true;
+  RescheduleRequest request_;
+  ContractViewer* viewer_ = nullptr;
+  FuzzyEngine fuzzy_ = makeContractFuzzyEngine();
+};
+
+}  // namespace grads::autopilot

@@ -1,0 +1,115 @@
+#include "autopilot/fuzzy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace grads::autopilot {
+
+double TriangularMf::grade(double x) const {
+  if (x <= a || x >= c) return x == b ? 1.0 : 0.0;  // degenerate spike
+  if (x == b) return 1.0;
+  if (x < b) return (x - a) / (b - a);
+  return (c - x) / (c - b);
+}
+
+FuzzyEngine::FuzzyEngine(std::vector<FuzzyVariable> inputs,
+                         FuzzyVariable output, std::vector<FuzzyRule> rules)
+    : inputs_(std::move(inputs)),
+      output_(std::move(output)),
+      rules_(std::move(rules)) {
+  GRADS_REQUIRE(!inputs_.empty(), "FuzzyEngine: need at least one input");
+  GRADS_REQUIRE(!rules_.empty(), "FuzzyEngine: need at least one rule");
+  for (const auto& r : rules_) {
+    GRADS_REQUIRE(r.antecedents.size() == inputs_.size(),
+                  "FuzzyEngine: rule arity mismatch");
+    for (std::size_t i = 0; i < r.antecedents.size(); ++i) {
+      if (r.antecedents[i].empty()) continue;
+      GRADS_REQUIRE(inputs_[i].terms.count(r.antecedents[i]) > 0,
+                    "FuzzyEngine: unknown input term " + r.antecedents[i]);
+    }
+    GRADS_REQUIRE(output_.terms.count(r.consequent) > 0,
+                  "FuzzyEngine: unknown output term " + r.consequent);
+  }
+}
+
+double FuzzyEngine::ruleStrength(std::size_t r,
+                                 const std::vector<double>& inputs) const {
+  GRADS_REQUIRE(r < rules_.size(), "FuzzyEngine: bad rule index");
+  GRADS_REQUIRE(inputs.size() == inputs_.size(),
+                "FuzzyEngine: wrong input count");
+  double strength = 1.0;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const auto& term = rules_[r].antecedents[i];
+    if (term.empty()) continue;
+    const double x = std::clamp(inputs[i], inputs_[i].lo, inputs_[i].hi);
+    strength = std::min(strength, inputs_[i].terms.at(term).grade(x));
+  }
+  return strength;
+}
+
+double FuzzyEngine::infer(const std::vector<double>& inputs) const {
+  // Mamdani: clip each rule's output term at the rule strength, aggregate
+  // with max, defuzzify by sampled centroid.
+  constexpr int kSamples = 200;
+  double num = 0.0;
+  double den = 0.0;
+  for (int s = 0; s <= kSamples; ++s) {
+    const double y = output_.lo + (output_.hi - output_.lo) *
+                                      static_cast<double>(s) / kSamples;
+    double mu = 0.0;
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      const double strength = ruleStrength(r, inputs);
+      if (strength <= 0.0) continue;
+      const double termMu = output_.terms.at(rules_[r].consequent).grade(y);
+      mu = std::max(mu, std::min(strength, termMu));
+    }
+    num += mu * y;
+    den += mu;
+  }
+  if (den == 0.0) return 0.5 * (output_.lo + output_.hi);
+  return num / den;
+}
+
+FuzzyEngine makeContractFuzzyEngine() {
+  // ratio = actual / predicted phase time, range [0, 4].
+  FuzzyVariable ratio;
+  ratio.name = "ratio";
+  ratio.lo = 0.0;
+  ratio.hi = 4.0;
+  ratio.terms["fast"] = TriangularMf{0.0, 0.5, 1.0};
+  ratio.terms["nominal"] = TriangularMf{0.7, 1.0, 1.5};
+  ratio.terms["slow"] = TriangularMf{1.2, 1.8, 2.5};
+  ratio.terms["very-slow"] = TriangularMf{2.0, 4.0, 4.0};
+
+  // trend = recent slope of the ratio series, range [-1, 1] per phase.
+  FuzzyVariable trend;
+  trend.name = "trend";
+  trend.lo = -1.0;
+  trend.hi = 1.0;
+  trend.terms["improving"] = TriangularMf{-1.0, -1.0, 0.0};
+  trend.terms["steady"] = TriangularMf{-0.2, 0.0, 0.2};
+  trend.terms["degrading"] = TriangularMf{0.0, 1.0, 1.0};
+
+  // action in [0, 1]: >= 0.5 means request rescheduling.
+  FuzzyVariable action;
+  action.name = "action";
+  action.lo = 0.0;
+  action.hi = 1.0;
+  action.terms["none"] = TriangularMf{0.0, 0.0, 0.4};
+  action.terms["watch"] = TriangularMf{0.2, 0.5, 0.8};
+  action.terms["reschedule"] = TriangularMf{0.6, 1.0, 1.0};
+
+  std::vector<FuzzyRule> rules{
+      {{"fast", ""}, "none"},
+      {{"nominal", ""}, "none"},
+      {{"slow", "improving"}, "watch"},
+      {{"slow", "steady"}, "reschedule"},
+      {{"slow", "degrading"}, "reschedule"},
+      {{"very-slow", ""}, "reschedule"},
+  };
+  return FuzzyEngine({ratio, trend}, action, std::move(rules));
+}
+
+}  // namespace grads::autopilot

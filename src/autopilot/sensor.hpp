@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace grads::autopilot {
+
+/// One sensor reading: a named channel, a value, and the virtual time it was
+/// produced.
+struct Reading {
+  std::string channel;
+  double value = 0.0;
+  double time = 0.0;
+};
+
+/// The Autopilot manager: a pub/sub registry connecting instrumented
+/// application sensors to listeners (contract monitors, loggers, the
+/// Contract-Viewer-style trace). The binder "inserts the sensors needed for
+/// monitoring a particular application" by giving the app a reporting
+/// handle onto this registry (paper §1, §2).
+class AutopilotManager {
+ public:
+  explicit AutopilotManager(sim::Engine& engine) : engine_(&engine) {}
+
+  using Listener = std::function<void(const Reading&)>;
+
+  /// Subscribes to a channel; returns a token for detach().
+  std::size_t attach(const std::string& channel, Listener fn);
+  void detach(std::size_t token);
+
+  /// Publishes a reading on a channel (stamped with current virtual time).
+  void report(const std::string& channel, double value);
+
+  /// Full history of a channel (the Contract Viewer's data source).
+  const std::vector<Reading>& history(const std::string& channel) const;
+
+  std::size_t totalReadings() const { return total_; }
+
+ private:
+  struct Sub {
+    std::string channel;
+    Listener fn;
+    bool active = true;
+  };
+
+  sim::Engine* engine_;
+  std::vector<Sub> subs_;
+  std::map<std::string, std::vector<Reading>> history_;
+  std::size_t total_ = 0;
+};
+
+/// Well-known sensor channel name helpers.
+std::string phaseTimeChannel(const std::string& app);
+std::string iterationChannel(const std::string& app);
+
+}  // namespace grads::autopilot

@@ -1,0 +1,86 @@
+#include "autopilot/viewer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace grads::autopilot {
+
+void ContractViewer::recordPhase(const std::string& app,
+                                 const PhaseRecord& rec) {
+  phases_[app].push_back(rec);
+}
+
+void ContractViewer::recordViolation(const std::string& app,
+                                     const ViolationRecord& rec) {
+  violations_[app].push_back(rec);
+}
+
+const std::vector<ContractViewer::PhaseRecord>& ContractViewer::phases(
+    const std::string& app) const {
+  static const std::vector<PhaseRecord> kEmpty;
+  const auto it = phases_.find(app);
+  return it == phases_.end() ? kEmpty : it->second;
+}
+
+const std::vector<ContractViewer::ViolationRecord>&
+ContractViewer::violations(const std::string& app) const {
+  static const std::vector<ViolationRecord> kEmpty;
+  const auto it = violations_.find(app);
+  return it == violations_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> ContractViewer::apps() const {
+  std::vector<std::string> out;
+  for (const auto& [app, recs] : phases_) {
+    (void)recs;
+    out.push_back(app);
+  }
+  return out;
+}
+
+void ContractViewer::renderTimeline(std::ostream& os, const std::string& app,
+                                    std::size_t maxRows) const {
+  const auto& recs = phases(app);
+  if (recs.empty()) {
+    os << "(no contract activity recorded for " << app << ")\n";
+    return;
+  }
+  os << "contract activity for " << app << " (" << recs.size()
+     << " phases; '|' = upper tolerance, '!' = violation raised)\n";
+  const std::size_t stride = std::max<std::size_t>(1, recs.size() / maxRows);
+  constexpr double kScale = 15.0;  // columns per 1.0 of ratio
+  for (std::size_t i = 0; i < recs.size(); i += stride) {
+    const auto& r = recs[i];
+    const auto bar = static_cast<std::size_t>(
+        std::min(4.0, std::max(0.0, r.ratio)) * kScale);
+    const auto tol = static_cast<std::size_t>(r.upperTolerance * kScale);
+    std::string line(std::max(bar, tol) + 2, ' ');
+    for (std::size_t c = 0; c < bar; ++c) line[c] = '#';
+    if (tol < line.size()) line[tol] = '|';
+    const bool violated = std::any_of(
+        violations(app).begin(), violations(app).end(),
+        [&](const ViolationRecord& v) {
+          return v.phase >= r.phase && v.phase < r.phase + stride;
+        });
+    char head[64];
+    std::snprintf(head, sizeof head, "t=%8.1f p=%4zu r=%5.2f ", r.time,
+                  r.phase, r.ratio);
+    os << head << line << (violated ? " !" : "") << "\n";
+  }
+  os << violations(app).size() << " violation(s) raised\n";
+}
+
+void ContractViewer::writeCsv(std::ostream& os, const std::string& app) const {
+  os << "time,phase,predicted,actual,ratio,upper,lower\n";
+  for (const auto& r : phases(app)) {
+    os << r.time << ',' << r.phase << ',' << r.predicted << ',' << r.actual
+       << ',' << r.ratio << ',' << r.upperTolerance << ','
+       << r.lowerTolerance << '\n';
+  }
+}
+
+}  // namespace grads::autopilot

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace grads::autopilot {
+
+/// Stand-in for GrADS' "Java-based Contract Viewer GUI to visualize the
+/// performance contract validation activity in real-time" (paper §1):
+/// records every phase's predicted/actual/ratio against the tolerance band
+/// plus every violation, renders an ASCII timeline, and exports CSV for
+/// plotting.
+class ContractViewer {
+ public:
+  explicit ContractViewer(sim::Engine& engine) : engine_(&engine) {}
+
+  struct PhaseRecord {
+    double time = 0.0;
+    std::size_t phase = 0;
+    double predicted = 0.0;
+    double actual = 0.0;
+    double ratio = 0.0;
+    double upperTolerance = 0.0;
+    double lowerTolerance = 0.0;
+  };
+  struct ViolationRecord {
+    double time = 0.0;
+    std::size_t phase = 0;
+    double avgRatio = 0.0;
+    bool migrated = false;
+  };
+
+  void recordPhase(const std::string& app, const PhaseRecord& rec);
+  void recordViolation(const std::string& app, const ViolationRecord& rec);
+
+  const std::vector<PhaseRecord>& phases(const std::string& app) const;
+  const std::vector<ViolationRecord>& violations(const std::string& app) const;
+
+  /// ASCII ratio timeline: one row per bucket of phases, a bar scaled to
+  /// the ratio, the tolerance band marked, violations flagged with '!'.
+  void renderTimeline(std::ostream& os, const std::string& app,
+                      std::size_t maxRows = 40) const;
+
+  /// CSV export (time,phase,predicted,actual,ratio,upper,lower).
+  void writeCsv(std::ostream& os, const std::string& app) const;
+
+  std::vector<std::string> apps() const;
+
+ private:
+  sim::Engine* engine_;
+  std::map<std::string, std::vector<PhaseRecord>> phases_;
+  std::map<std::string, std::vector<ViolationRecord>> violations_;
+};
+
+}  // namespace grads::autopilot

@@ -1,0 +1,172 @@
+#include "core/app_manager.hpp"
+
+#include <numeric>
+#include <set>
+
+#include "sim/sync.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::core {
+
+double RunBreakdown::sumSegment(const std::vector<double>& v) const {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+AppManager::AppManager(grid::Grid& grid, services::Gis& gis,
+                       const services::Nws* nws, services::Ibp& ibp,
+                       autopilot::AutopilotManager& autopilot)
+    : grid_(&grid), gis_(&gis), nws_(nws), ibp_(&ibp), autopilot_(&autopilot) {}
+
+sim::Task AppManager::run(const Cop& cop,
+                          reschedule::StopRestartRescheduler* rescheduler,
+                          ManagerOptions options, RunBreakdown* out) {
+  GRADS_REQUIRE(cop.code && cop.perfModel && cop.mapper,
+                "AppManager::run: incomplete COP");
+  sim::Engine& eng = gis_->grid().engine();
+  const double runStart = eng.now();
+
+  RunBreakdown breakdown;
+  reschedule::Rss rss(eng, cop.name);
+  if (options.failures != nullptr) options.failures->watch(rss);
+  std::size_t resumePhase = 0;
+  bool restored = false;
+
+  // The contract monitor persists across incarnations (its terms are
+  // updated after each migration).
+  std::unique_ptr<autopilot::ContractMonitor> monitor;
+
+  while (true) {
+    // --- Resource selection (scheduler queries GIS/NWS). ---
+    double t0 = eng.now();
+    co_await sim::sleepFor(eng, options.resourceSelectionSec);
+    const auto available = gis_->availableNodes();
+    GRADS_REQUIRE(!available.empty(), "AppManager: no available resources");
+    breakdown.resourceSelection.push_back(eng.now() - t0);
+
+    // --- Performance modeling + mapping. ---
+    t0 = eng.now();
+    co_await sim::sleepFor(eng, options.perfModelingSec);
+    const auto mapping = cop.mapper->chooseMapping(available, nws_);
+    GRADS_REQUIRE(!mapping.empty(), "AppManager: empty mapping");
+    breakdown.perfModeling.push_back(eng.now() - t0);
+    breakdown.mappings.push_back(mapping);
+    GRADS_INFO("app-manager") << cop.name << ": incarnation "
+                              << breakdown.mappings.size() << " on "
+                              << mapping.size() << " ranks (first node "
+                              << gis_->grid().node(mapping[0]).name() << ")";
+
+    std::set<grid::NodeId> reserved;
+    if (options.reserveNodes) {
+      reserved.insert(mapping.begin(), mapping.end());
+      for (const auto node : reserved) gis_->setNodeUp(node, false);
+    }
+
+    // --- Grid overhead: the distributed binder. ---
+    BindReport bindReport;
+    Binder binder(eng, *gis_);
+    co_await binder.bind(cop, mapping, &bindReport);
+    breakdown.gridOverhead.push_back(bindReport.seconds);
+
+    // --- Application start (launch + MPI global synchronization, §2). ---
+    t0 = eng.now();
+    co_await sim::sleepFor(
+        eng, options.appStartPerRankSec * static_cast<double>(mapping.size()));
+    breakdown.appStart.push_back(eng.now() - t0);
+
+    // --- Execute this incarnation. ---
+    vmpi::World world(*grid_, mapping, cop.name);
+    rss.beginIncarnation(static_cast<int>(mapping.size()));
+    reschedule::Srs srs(*ibp_, rss, world);
+    if (options.stableDepot != grid::kNoId) {
+      srs.setStableDepot(options.stableDepot);
+    }
+    for (const auto& [array, bytes] : cop.checkpointArrays) {
+      srs.registerArray(array, bytes);
+    }
+
+    LaunchContext ctx;
+    ctx.appName = cop.name;
+    ctx.world = &world;
+    ctx.srs = &srs;
+    ctx.autopilot = autopilot_;
+    ctx.startPhase = resumePhase;
+    ctx.restored = restored;
+
+    // Contract: predictions for this mapping on dedicated resources.
+    auto predictor = [model = cop.perfModel, mapping](std::size_t phase) {
+      return model->phaseSeconds(mapping, phase, nullptr);
+    };
+    if (options.monitorContract) {
+      if (!monitor) {
+        monitor = std::make_unique<autopilot::ContractMonitor>(
+            eng, autopilot::PerformanceContract(cop.name, predictor),
+            options.contract);
+        monitor->attachTo(*autopilot_,
+                          autopilot::phaseTimeChannel(cop.name));
+        monitor->setViewer(options.viewer);
+      } else {
+        // "the rescheduler may contact the contract monitor to update the
+        // terms of the contract."
+        monitor->contract().updateTerms(predictor);
+        monitor->resetPhase(resumePhase);
+        monitor->setEnabled(true);
+      }
+      if (rescheduler != nullptr) {
+        monitor->setRescheduleRequest(
+            [rescheduler, &cop, &rss, mapping](
+                const autopilot::ViolationReport& r) {
+              return rescheduler->onViolation(cop, rss, mapping, r.phase);
+            });
+      } else {
+        monitor->setRescheduleRequest(nullptr);
+      }
+    }
+    if (rescheduler != nullptr) {
+      reschedule::StopRestartRescheduler::RunningApp handle;
+      handle.cop = &cop;
+      handle.rss = &rss;
+      handle.mapping = [mapping] { return mapping; };
+      handle.phase = [m = monitor.get(), resumePhase] {
+        return m != nullptr ? m->phasesSeen() : resumePhase;
+      };
+      rescheduler->registerRunning(cop.name, handle);
+    }
+
+    const double execStart = eng.now();
+    sim::JoinSet ranks(eng);
+    for (int r = 0; r < world.size(); ++r) {
+      ranks.spawn(cop.code(ctx, r));
+    }
+    co_await ranks.join();
+    const double execEnd = eng.now();
+
+    if (monitor) monitor->setEnabled(false);
+    if (rescheduler != nullptr) rescheduler->unregisterRunning(cop.name);
+    for (const auto node : reserved) gis_->setNodeUp(node, true);
+
+    breakdown.checkpointWrite.push_back(srs.writeSpanSeconds());
+    breakdown.checkpointRead.push_back(srs.readSpanSeconds());
+    breakdown.appDuration.push_back(execEnd - execStart -
+                                    srs.writeSpanSeconds() -
+                                    srs.readSpanSeconds());
+    ++breakdown.incarnations;
+
+    if (!ctx.stopped) {
+      // Completed. Opportunistic rescheduling may now help someone else.
+      if (rescheduler != nullptr) rescheduler->onAppCompleted();
+      break;
+    }
+    GRADS_INFO("app-manager") << cop.name << ": stopped at phase "
+                              << ctx.completedPhases << "; restarting";
+    // A rescheduler-driven stop leaves a fresh checkpoint; a failure leaves
+    // only the last *periodic* one (possibly none — restart from scratch).
+    restored = rss.hasCheckpoint();
+    resumePhase = restored ? rss.storedIteration() : 0;
+  }
+
+  breakdown.totalSeconds = eng.now() - runStart;
+  if (out != nullptr) *out = std::move(breakdown);
+}
+
+}  // namespace grads::core

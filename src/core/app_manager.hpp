@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autopilot/contract.hpp"
+#include "core/binder.hpp"
+#include "core/cop.hpp"
+#include "reschedule/failure.hpp"
+#include "reschedule/rescheduler.hpp"
+#include "services/ibp.hpp"
+
+namespace grads::core {
+
+struct ManagerOptions {
+  /// Modeled service times of the Grid-side steps — the left-hand stacked
+  /// segments of Figure 3.
+  double resourceSelectionSec = 4.0;  ///< GIS queries + candidate filtering
+  double perfModelingSec = 6.0;       ///< evaluating the COP model/mapper
+  double appStartPerRankSec = 0.4;    ///< spawn + MPI global sync per rank
+
+  bool monitorContract = true;
+  autopilot::ContractMonitor::Options contract;
+  /// Mark this app's nodes unavailable in the GIS while it runs, so other
+  /// application managers do not co-schedule onto them (exclusive
+  /// space-sharing; needed for opportunistic-rescheduling scenarios).
+  bool reserveNodes = false;
+  /// Stable storage node for SRS checkpoints (kNoId = each rank's local
+  /// depot). Required when fail-stop fault tolerance is exercised.
+  grid::NodeId stableDepot = grid::kNoId;
+  /// Failure injector to register this app's RSS daemon with (fail-stop
+  /// notifications reach the app through it); may be null.
+  reschedule::FailureInjector* failures = nullptr;
+  /// Contract-Viewer recorder for this app's contract activity; may be null.
+  autopilot::ContractViewer* viewer = nullptr;
+};
+
+/// Per-run accounting matching Figure 3's stacked bars; one entry per
+/// incarnation (index 0 = initial execution, 1 = after first migration...).
+struct RunBreakdown {
+  std::vector<double> resourceSelection;
+  std::vector<double> perfModeling;
+  std::vector<double> gridOverhead;   ///< distributed binder
+  std::vector<double> appStart;
+  std::vector<double> appDuration;    ///< pure application execution
+  std::vector<double> checkpointWrite;
+  std::vector<double> checkpointRead;
+  std::vector<std::vector<grid::NodeId>> mappings;
+  double totalSeconds = 0.0;
+  int incarnations = 0;
+
+  double sumSegment(const std::vector<double>& v) const;
+};
+
+/// The GrADS application manager: drives the iterative runtime process of
+/// Figure 1 — resource selection, performance modeling, binding, launching,
+/// contract monitoring, and (via the rescheduler + RSS/SRS) stop/migrate/
+/// restart cycles until the application completes.
+class AppManager {
+ public:
+  AppManager(grid::Grid& grid, services::Gis& gis, const services::Nws* nws,
+             services::Ibp& ibp, autopilot::AutopilotManager& autopilot);
+
+  /// Runs the COP to completion. `rescheduler` may be null (no rescheduling:
+  /// contract violations are logged but nothing migrates).
+  sim::Task run(const Cop& cop,
+                reschedule::StopRestartRescheduler* rescheduler,
+                ManagerOptions options, RunBreakdown* out);
+
+ private:
+  grid::Grid* grid_;
+  services::Gis* gis_;
+  const services::Nws* nws_;
+  services::Ibp* ibp_;
+  autopilot::AutopilotManager* autopilot_;
+};
+
+}  // namespace grads::core

@@ -1,0 +1,67 @@
+#include "core/binder.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/sync.hpp"
+#include "util/log.hpp"
+
+namespace grads::core {
+
+Binder::Binder(sim::Engine& engine, const services::Gis& gis)
+    : Binder(engine, gis, BinderOptions{}) {}
+
+Binder::Binder(sim::Engine& engine, const services::Gis& gis,
+               BinderOptions options)
+    : engine_(&engine), gis_(&gis), opts_(options) {}
+
+sim::Task Binder::localBind(grid::NodeId node, std::size_t libraries) {
+  // GIS lookups for each application library, then instrument + configure +
+  // target-side compile.
+  co_await sim::sleepFor(*engine_,
+                         opts_.gisQuerySec * static_cast<double>(libraries));
+  co_await sim::sleepFor(*engine_, opts_.instrumentSec);
+  co_await sim::sleepFor(*engine_, opts_.configureSec);
+  const auto arch = gis_->grid().node(node).spec().arch;
+  co_await sim::sleepFor(*engine_, arch == grid::Arch::kIA64
+                                       ? opts_.compileSecIa64
+                                       : opts_.compileSecIa32);
+}
+
+sim::Task Binder::bind(const Cop& cop, std::vector<grid::NodeId> mapping,
+                       BindReport* report) {
+  GRADS_REQUIRE(!mapping.empty(), "Binder::bind: empty mapping");
+  const double start = engine_->now();
+
+  // Global binder: locate the local binder code on every scheduled node.
+  std::set<grid::NodeId> distinct(mapping.begin(), mapping.end());
+  co_await sim::sleepFor(*engine_, opts_.gisQuerySec);  // locate binder itself
+  for (const auto node : distinct) {
+    if (!gis_->hasSoftware(node, services::software::kLocalBinder)) {
+      throw BindError("no local binder installed on " +
+                      gis_->grid().node(node).name());
+    }
+    for (const auto& lib : cop.requiredSoftware) {
+      if (!gis_->hasSoftware(node, lib)) {
+        throw BindError("library '" + lib + "' missing on " +
+                        gis_->grid().node(node).name());
+      }
+    }
+  }
+
+  // Local binders run in parallel on each distinct node.
+  sim::JoinSet js(*engine_);
+  for (const auto node : distinct) {
+    js.spawn(localBind(node, cop.requiredSoftware.size() + 1));
+  }
+  co_await js.join();
+
+  GRADS_DEBUG("binder") << cop.name << ": bound on " << distinct.size()
+                        << " nodes in " << engine_->now() - start << " s";
+  if (report != nullptr) {
+    report->seconds = engine_->now() - start;
+    report->nodesBound = static_cast<int>(distinct.size());
+  }
+}
+
+}  // namespace grads::core

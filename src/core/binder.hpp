@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/cop.hpp"
+#include "services/gis.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace grads::core {
+
+/// Raised when a scheduled node lacks required software.
+class BindError : public Error {
+ public:
+  explicit BindError(const std::string& what) : Error(what) {}
+};
+
+struct BinderOptions {
+  double gisQuerySec = 0.4;      ///< one GIS lookup round-trip
+  double instrumentSec = 0.8;    ///< Autopilot sensor insertion per node
+  double configureSec = 1.0;     ///< per-node configure step
+  double compileSecIa32 = 4.0;   ///< compile the IR on an IA-32 node
+  double compileSecIa64 = 6.5;   ///< IA-64 compiles are slower
+};
+
+struct BindReport {
+  double seconds = 0.0;   ///< wall time of the whole distributed bind
+  int nodesBound = 0;
+};
+
+/// The distributed GrADS binder (paper §2). The global binder queries the
+/// GIS for the local binder and library locations on every scheduled node,
+/// then runs a local binder process per node — in parallel — which
+/// instruments the code with Autopilot sensors and configures/compiles the
+/// intermediate representation *on the target machine*, which is what makes
+/// heterogeneous (IA-32 + IA-64) resource sets work.
+class Binder {
+ public:
+  Binder(sim::Engine& engine, const services::Gis& gis);
+  Binder(sim::Engine& engine, const services::Gis& gis, BinderOptions options);
+
+  /// Binds the COP onto the mapping; throws BindError if any node lacks the
+  /// local binder or a required library. Fills `report` if non-null.
+  sim::Task bind(const Cop& cop, std::vector<grid::NodeId> mapping,
+                 BindReport* report);
+
+ private:
+  sim::Task localBind(grid::NodeId node, std::size_t libraries);
+
+  sim::Engine* engine_;
+  const services::Gis* gis_;
+  BinderOptions opts_;
+};
+
+}  // namespace grads::core

@@ -1,0 +1,65 @@
+#include "core/cop.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace grads::core {
+
+double AppPerfModel::totalSeconds(const std::vector<grid::NodeId>& mapping,
+                                  const services::Nws* nws,
+                                  RateView view) const {
+  return remainingSeconds(mapping, 0, nws, view);
+}
+
+double AppPerfModel::remainingSeconds(const std::vector<grid::NodeId>& mapping,
+                                      std::size_t fromPhase,
+                                      const services::Nws* nws,
+                                      RateView view) const {
+  double total = 0.0;
+  for (std::size_t p = fromPhase; p < totalPhases(); ++p) {
+    total += phaseSeconds(mapping, p, nws, view);
+  }
+  return total;
+}
+
+BestClusterMapper::BestClusterMapper(const grid::Grid& grid,
+                                     const AppPerfModel& model,
+                                     std::size_t phaseHorizon)
+    : grid_(&grid), model_(&model), horizon_(phaseHorizon) {}
+
+std::vector<grid::NodeId> BestClusterMapper::chooseMapping(
+    const std::vector<grid::NodeId>& available,
+    const services::Nws* nws) const {
+  GRADS_REQUIRE(!available.empty(), "BestClusterMapper: no resources");
+  // Group available nodes by cluster; one rank per CPU.
+  std::map<grid::ClusterId, std::vector<grid::NodeId>> byCluster;
+  for (const auto id : available) {
+    auto& ranks = byCluster[grid_->node(id).cluster()];
+    for (int cpu = 0; cpu < grid_->node(id).spec().cpus; ++cpu) {
+      ranks.push_back(id);
+    }
+  }
+  double bestTime = 0.0;
+  const std::vector<grid::NodeId>* best = nullptr;
+  for (const auto& [cluster, mapping] : byCluster) {
+    (void)cluster;
+    double t = 0.0;
+    if (horizon_ > 0) {
+      for (std::size_t p = 0; p < std::min(horizon_, model_->totalPhases());
+           ++p) {
+        t += model_->phaseSeconds(mapping, p, nws, RateView::kNewProcess);
+      }
+    } else {
+      t = model_->totalSeconds(mapping, nws, RateView::kNewProcess);
+    }
+    if (best == nullptr || t < bestTime) {
+      bestTime = t;
+      best = &mapping;
+    }
+  }
+  GRADS_ASSERT(best != nullptr, "BestClusterMapper: no candidate mapping");
+  return *best;
+}
+
+}  // namespace grads::core

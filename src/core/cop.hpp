@@ -1,0 +1,110 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autopilot/sensor.hpp"
+#include "grid/grid.hpp"
+#include "reschedule/srs.hpp"
+#include "services/nws.hpp"
+#include "sim/task.hpp"
+#include "vmpi/world.hpp"
+
+namespace grads::core {
+
+/// Per-incarnation execution context handed to the application code by the
+/// launcher. Outputs (`stopped`, `completedPhases`) are written by the app.
+struct LaunchContext {
+  std::string appName;
+  vmpi::World* world = nullptr;
+  reschedule::Srs* srs = nullptr;                 ///< null if no checkpointing
+  autopilot::AutopilotManager* autopilot = nullptr;
+  std::size_t startPhase = 0;   ///< resume point after a restart
+  bool restored = false;        ///< read the checkpoint before computing
+
+  bool stopped = false;         ///< set by the app when SRS stopped it
+  std::size_t completedPhases = 0;
+};
+
+/// The application body: one coroutine per MPI rank.
+using AppCode = std::function<sim::Task(LaunchContext&, int rank)>;
+
+/// How node rates are sampled when predicting on a mapping: an application
+/// already *running* there keeps its incumbent CPU share, whereas a mapping
+/// we would *migrate to* only gets what a newly arriving process would.
+enum class RateView { kIncumbent, kNewProcess };
+
+/// Executable performance model of a whole application on a candidate
+/// resource set — one of the three pieces of a configurable object program
+/// ("an executable performance model that estimates the application's
+/// performance on a set of resources", paper §1).
+class AppPerfModel {
+ public:
+  virtual ~AppPerfModel() = default;
+
+  virtual std::size_t totalPhases() const = 0;
+
+  /// Predicted duration of phase `phase` on `mapping`. When `nws` is given,
+  /// the prediction accounts for current load (forecast effective rates,
+  /// sampled per `view`); otherwise it assumes dedicated resources.
+  virtual double phaseSeconds(const std::vector<grid::NodeId>& mapping,
+                              std::size_t phase, const services::Nws* nws,
+                              RateView view = RateView::kIncumbent) const = 0;
+
+  virtual double totalSeconds(const std::vector<grid::NodeId>& mapping,
+                              const services::Nws* nws,
+                              RateView view = RateView::kIncumbent) const;
+
+  /// Remaining time from (and including) `fromPhase`.
+  virtual double remainingSeconds(const std::vector<grid::NodeId>& mapping,
+                                  std::size_t fromPhase,
+                                  const services::Nws* nws,
+                                  RateView view = RateView::kIncumbent) const;
+};
+
+/// The COP's mapper: "determines how to map an application's tasks to a set
+/// of resources". Returns one entry per MPI rank (a dual-CPU node may
+/// appear twice).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual std::vector<grid::NodeId> chooseMapping(
+      const std::vector<grid::NodeId>& available,
+      const services::Nws* nws) const = 0;
+};
+
+/// A configurable object program: application code + mapper + performance
+/// model (paper §1), plus the binder's software requirements and the data
+/// the SRS library checkpoints.
+struct Cop {
+  std::string name;
+  AppCode code;
+  std::shared_ptr<AppPerfModel> perfModel;
+  std::shared_ptr<Mapper> mapper;
+  std::vector<std::string> requiredSoftware;
+  /// Registered checkpoint payload (e.g. the QR matrix A and rhs B).
+  std::vector<std::pair<std::string, double>> checkpointArrays;
+  bool isMpi = true;  ///< MPI apps need the launch-time global sync (§2)
+};
+
+/// Cluster-affine mapper: evaluates each cluster as a candidate (all its
+/// CPUs as ranks) with the COP performance model and picks the fastest —
+/// how the GrADS scheduler chose the UTK cluster initially in §4.1.2.
+class BestClusterMapper final : public Mapper {
+ public:
+  BestClusterMapper(const grid::Grid& grid, const AppPerfModel& model,
+                    std::size_t phaseHorizon = 0);
+
+  std::vector<grid::NodeId> chooseMapping(
+      const std::vector<grid::NodeId>& available,
+      const services::Nws* nws) const override;
+
+ private:
+  const grid::Grid* grid_;
+  const AppPerfModel* model_;
+  std::size_t horizon_;
+};
+
+}  // namespace grads::core

@@ -1,0 +1,185 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/sync.hpp"
+#include "util/error.hpp"
+
+namespace grads::grid {
+
+Link::Link(sim::Engine& engine, LinkId id, LinkSpec spec)
+    : id_(id), spec_(std::move(spec)) {
+  GRADS_REQUIRE(spec_.latencySec >= 0.0, "Link: negative latency");
+  GRADS_REQUIRE(spec_.bandwidthBytesPerSec > 0.0, "Link: bandwidth must be > 0");
+  bw_ = std::make_unique<sim::PsResource>(engine, spec_.bandwidthBytesPerSec,
+                                          spec_.perFlowCapBytesPerSec,
+                                          spec_.name + ".bw");
+}
+
+double Link::availableBandwidth() const {
+  const double perFlow = spec_.perFlowCapBytesPerSec;
+  return std::min(perFlow, bw_->capacity() / (bw_->totalWeight() + 1.0));
+}
+
+Grid::Grid(sim::Engine& engine) : engine_(&engine) {}
+
+ClusterId Grid::addCluster(ClusterSpec spec) {
+  const ClusterId id = clusters_.size();
+  const LinkId lan = links_.size();
+  links_.push_back(std::make_unique<Link>(*engine_, lan, spec.lan));
+  clusters_.push_back(Cluster{id, spec.name, spec.site, lan, {}});
+  return id;
+}
+
+NodeId Grid::addNode(ClusterId cluster, NodeSpec spec) {
+  GRADS_REQUIRE(cluster < clusters_.size(), "addNode: unknown cluster");
+  const NodeId id = nodes_.size();
+  nodes_.push_back(std::make_unique<Node>(*engine_, id, std::move(spec)));
+  nodes_.back()->setCluster(cluster);
+  clusters_[cluster].nodes.push_back(id);
+  return id;
+}
+
+LinkId Grid::connectClusters(ClusterId a, ClusterId b, LinkSpec spec) {
+  GRADS_REQUIRE(a < clusters_.size() && b < clusters_.size(),
+                "connectClusters: unknown cluster");
+  GRADS_REQUIRE(a != b, "connectClusters: cannot connect a cluster to itself");
+  const LinkId id = links_.size();
+  links_.push_back(std::make_unique<Link>(*engine_, id, std::move(spec)));
+  wan_[{std::min(a, b), std::max(a, b)}] = id;
+  return id;
+}
+
+Node& Grid::node(NodeId id) {
+  GRADS_REQUIRE(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+const Node& Grid::node(NodeId id) const {
+  GRADS_REQUIRE(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+Link& Grid::link(LinkId id) {
+  GRADS_REQUIRE(id < links_.size(), "unknown link id");
+  return *links_[id];
+}
+const Link& Grid::link(LinkId id) const {
+  GRADS_REQUIRE(id < links_.size(), "unknown link id");
+  return *links_[id];
+}
+const Cluster& Grid::cluster(ClusterId id) const {
+  GRADS_REQUIRE(id < clusters_.size(), "unknown cluster id");
+  return clusters_[id];
+}
+const std::vector<NodeId>& Grid::clusterNodes(ClusterId id) const {
+  return cluster(id).nodes;
+}
+
+std::optional<ClusterId> Grid::findCluster(const std::string& name) const {
+  for (const auto& c : clusters_) {
+    if (c.name == name) return c.id;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> Grid::findNode(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return n->id();
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Grid::allNodes() const {
+  std::vector<NodeId> ids(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+Route Grid::route(NodeId src, NodeId dst) const {
+  GRADS_REQUIRE(src < nodes_.size() && dst < nodes_.size(),
+                "route: unknown node");
+  Route r;
+  if (src == dst) return r;
+  const ClusterId cs = nodes_[src]->cluster();
+  const ClusterId cd = nodes_[dst]->cluster();
+  if (cs == cd) {
+    r.links.push_back(clusters_[cs].lan);
+    r.latencySec = links_[clusters_[cs].lan]->latency();
+    return r;
+  }
+  // BFS over the cluster graph to find the WAN hop sequence.
+  std::vector<ClusterId> prev(clusters_.size(), kNoId);
+  std::vector<bool> seen(clusters_.size(), false);
+  std::deque<ClusterId> q{cs};
+  seen[cs] = true;
+  while (!q.empty()) {
+    const ClusterId c = q.front();
+    q.pop_front();
+    if (c == cd) break;
+    for (const auto& [key, link] : wan_) {
+      (void)link;
+      ClusterId other = kNoId;
+      if (key.first == c) other = key.second;
+      if (key.second == c) other = key.first;
+      if (other != kNoId && !seen[other]) {
+        seen[other] = true;
+        prev[other] = c;
+        q.push_back(other);
+      }
+    }
+  }
+  GRADS_REQUIRE(seen[cd], "route: clusters are not connected");
+
+  std::vector<ClusterId> hops{cd};
+  while (hops.back() != cs) hops.push_back(prev[hops.back()]);
+  std::reverse(hops.begin(), hops.end());
+
+  r.links.push_back(clusters_[cs].lan);
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const auto key = std::make_pair(std::min(hops[i], hops[i + 1]),
+                                    std::max(hops[i], hops[i + 1]));
+    r.links.push_back(wan_.at(key));
+  }
+  r.links.push_back(clusters_[cd].lan);
+  for (const LinkId l : r.links) r.latencySec += links_[l]->latency();
+  return r;
+}
+
+sim::Task Grid::transfer(NodeId src, NodeId dst, double bytes) {
+  GRADS_REQUIRE(bytes >= 0.0, "transfer: negative size");
+  const Route r = route(src, dst);
+  if (r.latencySec > 0.0) co_await sim::sleepFor(*engine_, r.latencySec);
+  if (r.links.empty() || bytes == 0.0) co_return;
+  if (r.links.size() == 1) {
+    co_await links_[r.links[0]]->bandwidth().consume(bytes);
+    co_return;
+  }
+  // Stream through all shared links concurrently; the contended bottleneck
+  // dominates the elapsed time (cut-through rather than store-and-forward).
+  sim::JoinSet js(*engine_);
+  for (const LinkId l : r.links) {
+    js.spawn(links_[l]->bandwidth().consume(bytes));
+  }
+  co_await js.join();
+}
+
+double Grid::transferEstimate(NodeId src, NodeId dst, double bytes) const {
+  const Route r = route(src, dst);
+  if (r.links.empty()) return 0.0;
+  double bw = sim::kInfTime;
+  for (const LinkId l : r.links) {
+    bw = std::min(bw, std::min(links_[l]->spec().bandwidthBytesPerSec,
+                               links_[l]->spec().perFlowCapBytesPerSec));
+  }
+  return r.latencySec + bytes / bw;
+}
+
+double Grid::transferEstimateNow(NodeId src, NodeId dst, double bytes) const {
+  const Route r = route(src, dst);
+  if (r.links.empty()) return 0.0;
+  double bw = sim::kInfTime;
+  for (const LinkId l : r.links) bw = std::min(bw, links_[l]->availableBandwidth());
+  return r.latencySec + bytes / bw;
+}
+
+}  // namespace grads::grid

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/task.hpp"
+
+namespace grads::grid {
+
+/// A network link (WAN pipe or cluster switch). Bandwidth is a shared
+/// processor-sharing resource: concurrent flows divide it fairly;
+/// perFlowCap bounds any single flow (a switched LAN gives each pair its own
+/// wire speed even though the backplane is larger).
+struct LinkSpec {
+  std::string name;
+  double latencySec = 0.0;
+  double bandwidthBytesPerSec = 1e6;
+  double perFlowCapBytesPerSec = sim::kInfTime;
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, LinkId id, LinkSpec spec);
+  LinkId id() const { return id_; }
+  const LinkSpec& spec() const { return spec_; }
+  double latency() const { return spec_.latencySec; }
+  sim::PsResource& bandwidth() { return *bw_; }
+  const sim::PsResource& bandwidth() const { return *bw_; }
+  /// Bandwidth a new flow would get right now (bytes/s).
+  double availableBandwidth() const;
+
+ private:
+  LinkId id_;
+  LinkSpec spec_;
+  std::unique_ptr<sim::PsResource> bw_;
+};
+
+/// Cluster of nodes sharing a LAN switch.
+struct ClusterSpec {
+  std::string name;
+  std::string site;  ///< e.g. "UTK", "UIUC", "UCSD", "UH"
+  LinkSpec lan;
+};
+
+struct Cluster {
+  ClusterId id = kNoId;
+  std::string name;
+  std::string site;
+  LinkId lan = kNoId;
+  std::vector<NodeId> nodes;
+};
+
+/// Resolved route between two nodes.
+struct Route {
+  std::vector<LinkId> links;  ///< in order; empty for same-node transfers
+  double latencySec = 0.0;
+};
+
+/// The Grid resource fabric: nodes grouped into clusters, clusters joined by
+/// WAN links, with BFS routing across the cluster graph. This plays the role
+/// of the paper's MacroGrid testbed (and, wrapped by grads::microgrid, of the
+/// MicroGrid's virtual resource infrastructure).
+class Grid {
+ public:
+  explicit Grid(sim::Engine& engine);
+  Grid(const Grid&) = delete;
+  Grid& operator=(const Grid&) = delete;
+
+  sim::Engine& engine() const { return *engine_; }
+
+  ClusterId addCluster(ClusterSpec spec);
+  NodeId addNode(ClusterId cluster, NodeSpec spec);
+  /// Adds a WAN link and records it as the route between the two clusters.
+  LinkId connectClusters(ClusterId a, ClusterId b, LinkSpec spec);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t linkCount() const { return links_.size(); }
+  std::size_t clusterCount() const { return clusters_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  Link& link(LinkId id);
+  const Link& link(LinkId id) const;
+  const Cluster& cluster(ClusterId id) const;
+  const std::vector<NodeId>& clusterNodes(ClusterId id) const;
+  std::optional<ClusterId> findCluster(const std::string& name) const;
+  std::optional<NodeId> findNode(const std::string& name) const;
+  std::vector<NodeId> allNodes() const;
+
+  /// Resolves the route between two nodes (BFS over the cluster graph).
+  Route route(NodeId src, NodeId dst) const;
+
+  /// Moves `bytes` from src to dst: pays route latency once, then streams
+  /// through every shared link on the path concurrently (the slowest —
+  /// normally the WAN bottleneck — dominates).
+  sim::Task transfer(NodeId src, NodeId dst, double bytes);
+
+  /// Uncontended estimate of transfer(src,dst,bytes) in seconds; what a
+  /// scheduler computes from NWS forecasts of latency and bandwidth.
+  double transferEstimate(NodeId src, NodeId dst, double bytes) const;
+
+  /// Estimate using *currently available* (contended) bandwidth.
+  double transferEstimateNow(NodeId src, NodeId dst, double bytes) const;
+
+ private:
+  sim::Engine* engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Cluster> clusters_;
+  std::map<std::pair<ClusterId, ClusterId>, LinkId> wan_;
+};
+
+}  // namespace grads::grid

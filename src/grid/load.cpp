@@ -1,0 +1,74 @@
+#include "grid/load.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace grads::grid {
+
+LoadTrace::LoadTrace(std::vector<LoadPhase> phases)
+    : phases_(std::move(phases)) {
+  for (std::size_t i = 1; i < phases_.size(); ++i) {
+    GRADS_REQUIRE(phases_[i].start > phases_[i - 1].start,
+                  "LoadTrace: phases must be strictly increasing in time");
+  }
+  for (const auto& p : phases_) {
+    GRADS_REQUIRE(p.weight >= 0.0, "LoadTrace: negative weight");
+    GRADS_REQUIRE(p.start >= 0.0, "LoadTrace: negative start time");
+  }
+}
+
+double LoadTrace::weightAt(sim::Time t) const {
+  double w = 0.0;
+  for (const auto& p : phases_) {
+    if (p.start <= t) {
+      w = p.weight;
+    } else {
+      break;
+    }
+  }
+  return w;
+}
+
+LoadTrace LoadTrace::stepAt(sim::Time at, double weight) {
+  return LoadTrace({LoadPhase{at, weight}});
+}
+
+LoadTrace LoadTrace::pulse(sim::Time from, sim::Time until, double weight) {
+  GRADS_REQUIRE(until > from, "LoadTrace::pulse: empty interval");
+  return LoadTrace({LoadPhase{from, weight}, LoadPhase{until, 0.0}});
+}
+
+LoadTrace LoadTrace::randomOnOff(Rng& rng, double meanOffSec, double meanOnSec,
+                                 double weight, sim::Time horizon) {
+  GRADS_REQUIRE(meanOffSec > 0.0 && meanOnSec > 0.0,
+                "LoadTrace::randomOnOff: means must be positive");
+  std::vector<LoadPhase> phases;
+  sim::Time t = rng.exponential(1.0 / meanOffSec);
+  while (t < horizon) {
+    phases.push_back(LoadPhase{t, weight});
+    t += rng.exponential(1.0 / meanOnSec);
+    if (t >= horizon) break;
+    phases.push_back(LoadPhase{t, 0.0});
+    t += rng.exponential(1.0 / meanOffSec);
+  }
+  return LoadTrace(std::move(phases));
+}
+
+void applyLoadTrace(sim::Engine& engine, Node& node, const LoadTrace& trace) {
+  // Shared slot holding the currently injected load id (if any).
+  auto current = std::make_shared<std::optional<sim::PsResource::LoadId>>();
+  for (const auto& phase : trace.phases()) {
+    // Daemon events: background load must not keep the simulation alive
+    // after the foreground work completes.
+    engine.scheduleDaemonAt(phase.start, [&node, current, weight = phase.weight] {
+      if (current->has_value()) {
+        node.removeLoad(current->value());
+        current->reset();
+      }
+      if (weight > 0.0) *current = node.injectLoad(weight);
+    });
+  }
+}
+
+}  // namespace grads::grid

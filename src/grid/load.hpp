@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/node.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace grads::grid {
+
+/// Piecewise-constant background-load trace: `weight` competing processes
+/// are present from `start` until the next phase begins (the final phase
+/// lasts forever). weight == 0 means the node is otherwise idle.
+struct LoadPhase {
+  sim::Time start = 0.0;
+  double weight = 0.0;
+};
+
+class LoadTrace {
+ public:
+  LoadTrace() = default;
+  explicit LoadTrace(std::vector<LoadPhase> phases);
+
+  const std::vector<LoadPhase>& phases() const { return phases_; }
+  double weightAt(sim::Time t) const;
+  bool empty() const { return phases_.empty(); }
+
+  /// A single step: idle until `at`, then `weight` competitors forever.
+  /// This is the paper's "artificial load introduced five minutes after the
+  /// start of the application".
+  static LoadTrace stepAt(sim::Time at, double weight);
+
+  /// Load present only during [from, until).
+  static LoadTrace pulse(sim::Time from, sim::Time until, double weight);
+
+  /// Random on/off process (exponential on/off durations) up to `horizon`.
+  static LoadTrace randomOnOff(Rng& rng, double meanOffSec, double meanOnSec,
+                               double weight, sim::Time horizon);
+
+ private:
+  std::vector<LoadPhase> phases_;
+};
+
+/// Schedules the trace's add/remove load events against a node's CPU.
+/// Must be called before the engine reaches the first phase boundary.
+void applyLoadTrace(sim::Engine& engine, Node& node, const LoadTrace& trace);
+
+}  // namespace grads::grid

@@ -1,0 +1,48 @@
+#include "grid/node.hpp"
+
+#include "util/error.hpp"
+
+namespace grads::grid {
+
+const char* archName(Arch a) {
+  switch (a) {
+    case Arch::kIA32: return "ia32";
+    case Arch::kIA64: return "ia64";
+    case Arch::kOther: return "other";
+  }
+  return "?";
+}
+
+Node::Node(sim::Engine& engine, NodeId id, NodeSpec spec)
+    : id_(id), spec_(std::move(spec)) {
+  GRADS_REQUIRE(spec_.cpus >= 1, "Node: need at least one CPU");
+  GRADS_REQUIRE(spec_.mhz > 0.0, "Node: clock must be positive");
+  GRADS_REQUIRE(spec_.efficiency > 0.0 && spec_.efficiency <= 1.0,
+                "Node: efficiency must be in (0,1]");
+  cpu_ = std::make_unique<sim::PsResource>(
+      engine, spec_.effectiveFlops(), spec_.effectiveFlopsPerCpu(),
+      spec_.name + ".cpu");
+}
+
+sim::PsResource::LoadId Node::injectLoad(double weight) {
+  return cpu_->addLoad(weight);
+}
+
+void Node::removeLoad(sim::PsResource::LoadId id) { cpu_->removeLoad(id); }
+
+double Node::cpuAvailability() const {
+  // Share a newly arriving unit-weight process would receive, as a fraction
+  // of one (effective) CPU — what an NWS CPU-availability sensor reports.
+  const double perCpu = spec_.effectiveFlopsPerCpu();
+  const double rate =
+      std::min(perCpu, cpu_->capacity() / (cpu_->totalWeight() + 1.0));
+  return rate / perCpu;
+}
+
+double Node::incumbentAvailability() const {
+  const double perCpu = spec_.effectiveFlopsPerCpu();
+  const double w = std::max(1.0, cpu_->totalWeight());
+  return std::min(perCpu, cpu_->capacity() / w) / perCpu;
+}
+
+}  // namespace grads::grid

@@ -1,0 +1,187 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace grads::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    GRADS_REQUIRE(r.size() == cols_, "Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  GRADS_ASSERT(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  GRADS_ASSERT(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  GRADS_ASSERT(r < rows_, "Matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  GRADS_ASSERT(r < rows_, "Matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  GRADS_REQUIRE(cols_ == rhs.rows_, "Matrix multiply: shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> x) const {
+  GRADS_REQUIRE(cols_ == x.size(), "Matrix-vector multiply: shape mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  GRADS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "Matrix subtract: shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - rhs.data_[i];
+  }
+  return out;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::maxAbsDiff(const Matrix& a, const Matrix& b) {
+  GRADS_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+                "maxAbsDiff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+QrFactorization householderQr(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  GRADS_REQUIRE(m >= n, "householderQr: need rows >= cols");
+  Matrix r = a;
+  Matrix q = Matrix::identity(m);
+  std::vector<double> v(m);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double normx = 0.0;
+    for (std::size_t i = k; i < m; ++i) normx += r(i, k) * r(i, k);
+    normx = std::sqrt(normx);
+    if (normx == 0.0) continue;
+    const double alpha = r(k, k) >= 0.0 ? -normx : normx;
+    double vnorm2 = 0.0;
+    for (std::size_t i = k; i < m; ++i) {
+      v[i] = r(i, k);
+      if (i == k) v[i] -= alpha;
+      vnorm2 += v[i] * v[i];
+    }
+    if (vnorm2 == 0.0) continue;
+
+    // Apply H = I − 2 v vᵀ / (vᵀv) to R (columns k..n-1).
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i] * r(i, j);
+      const double f = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i];
+    }
+    // Accumulate into Q (apply H on the right: Q ← Q H).
+    for (std::size_t i = 0; i < m; ++i) {
+      double dot = 0.0;
+      for (std::size_t j = k; j < m; ++j) dot += q(i, j) * v[j];
+      const double f = 2.0 * dot / vnorm2;
+      for (std::size_t j = k; j < m; ++j) q(i, j) -= f * v[j];
+    }
+  }
+  // Zero the strictly-lower part of R (numerically it is ~1e-16 noise).
+  for (std::size_t i = 1; i < m; ++i) {
+    for (std::size_t j = 0; j < std::min(i, n); ++j) r(i, j) = 0.0;
+  }
+  return QrFactorization{std::move(q), std::move(r)};
+}
+
+std::vector<double> backSubstitute(const Matrix& r, std::span<const double> b) {
+  const std::size_t n = std::min(r.rows(), r.cols());
+  GRADS_REQUIRE(b.size() >= n, "backSubstitute: rhs too short");
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= r(i, j) * x[j];
+    GRADS_REQUIRE(std::fabs(r(i, i)) > 1e-300, "backSubstitute: singular R");
+    x[i] = s / r(i, i);
+  }
+  return x;
+}
+
+std::vector<double> leastSquares(const Matrix& a, std::span<const double> b) {
+  GRADS_REQUIRE(a.rows() == b.size(), "leastSquares: shape mismatch");
+  const auto qr = householderQr(a);
+  // x = R⁻¹ Qᵀ b (top n rows).
+  const auto qtb = qr.q.transposed() * b;
+  return backSubstitute(qr.r, qtb);
+}
+
+double qrFlops(std::size_t m, std::size_t n) {
+  // Householder QR: sum over k of ~4(m−k)(n−k) flops for the update plus
+  // vector construction; the standard closed form is 2n²(m − n/3).
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * (dm - dn / 3.0);
+}
+
+double matmulFlops(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * dn;
+}
+
+}  // namespace grads::linalg

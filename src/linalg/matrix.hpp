@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace grads::linalg {
+
+/// Dense row-major matrix of doubles. Small and dependency-free: it backs
+/// the performance modeler's least-squares fits and the numeric ground truth
+/// for the ScaLAPACK-style QR application.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  static Matrix identity(std::size_t n);
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(std::span<const double> x) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Frobenius norm.
+  double norm() const;
+  /// max |a_ij - b_ij|.
+  static double maxAbsDiff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Result of a Householder QR factorization A = Q R.
+struct QrFactorization {
+  Matrix q;  ///< rows × rows orthogonal
+  Matrix r;  ///< rows × cols upper trapezoidal
+};
+
+/// Householder QR with explicit Q accumulation (for testing) — O(mn²).
+QrFactorization householderQr(const Matrix& a);
+
+/// Solves min ‖Ax − b‖₂ for full-column-rank A via Householder QR.
+std::vector<double> leastSquares(const Matrix& a, std::span<const double> b);
+
+/// Solves Rx = b for upper-triangular R (top-left n×n of r).
+std::vector<double> backSubstitute(const Matrix& r, std::span<const double> b);
+
+/// Exact flop count of a Householder QR factorization of an m×n matrix —
+/// the ground truth the flop-model fitting must recover (≈ 2n²(m − n/3)).
+double qrFlops(std::size_t m, std::size_t n);
+
+/// Exact flop count of an n×n×n matrix multiply (2n³).
+double matmulFlops(std::size_t n);
+
+}  // namespace grads::linalg

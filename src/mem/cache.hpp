@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/node.hpp"
+#include "mem/trace.hpp"
+
+namespace grads::mem {
+
+/// Set-associative LRU cache simulator operating on block addresses.
+/// With associativity == number of lines it degenerates to fully-associative
+/// LRU — the model the reuse-distance analysis predicts exactly.
+class LruCacheSim {
+ public:
+  /// `lines` total cache lines, split into lines/associativity sets.
+  LruCacheSim(std::size_t lines, std::size_t associativity);
+
+  /// Returns true on hit.
+  bool access(std::uint64_t block);
+  TraceSink sink();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double missRatio() const;
+
+  std::size_t lines() const { return lines_; }
+  std::size_t sets() const { return sets_.size(); }
+
+  static LruCacheSim forGeometry(const grid::CacheGeometry& g);
+  /// Fully-associative variant with the same capacity.
+  static LruCacheSim fullyAssociative(const grid::CacheGeometry& g);
+
+ private:
+  struct Set {
+    std::list<std::uint64_t> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map;
+  };
+
+  std::size_t lines_;
+  std::size_t assoc_;
+  std::vector<Set> sets_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace grads::mem

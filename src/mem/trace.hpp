@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace grads::mem {
+
+/// One memory reference, in units of cache blocks. `site` identifies the
+/// static load/store instruction ("reference site") that issued it — the
+/// paper's MRD models are built per memory instruction (§3.2, [11]).
+struct MemRef {
+  std::uint64_t block = 0;
+  std::uint32_t site = 0;
+  bool isWrite = false;
+};
+
+using TraceSink = std::function<void(const MemRef&)>;
+
+/// Converts an element index within a named array into a distinct block
+/// address space (arrays are placed 1 GiB apart so they never alias).
+std::uint64_t arrayBlock(std::uint32_t arrayId, std::uint64_t elementIndex,
+                         std::uint64_t elementsPerBlock);
+
+/// Reference-site ids used by the kernel generators (stable across runs so
+/// per-site models can be trained on one size and evaluated on another).
+namespace sites {
+inline constexpr std::uint32_t kMatmulA = 0;
+inline constexpr std::uint32_t kMatmulB = 1;
+inline constexpr std::uint32_t kMatmulC = 2;
+inline constexpr std::uint32_t kQrPanel = 10;
+inline constexpr std::uint32_t kQrTrailing = 11;
+inline constexpr std::uint32_t kStencilRead = 20;
+inline constexpr std::uint32_t kStencilWrite = 21;
+inline constexpr std::uint32_t kNBodyPosI = 30;
+inline constexpr std::uint32_t kNBodyPosJ = 31;
+inline constexpr std::uint32_t kNBodyAcc = 32;
+}  // namespace sites
+
+/// ijk dense matrix multiply C = A·B on n×n doubles.
+void traceMatmul(std::size_t n, std::size_t elementsPerBlock, TraceSink sink);
+
+/// Right-looking unblocked Householder QR on an n×n matrix: per step k a
+/// panel sweep (column k) and a trailing-matrix update.
+void traceQr(std::size_t n, std::size_t elementsPerBlock, TraceSink sink);
+
+/// 1-D 3-point Jacobi stencil, `iters` sweeps over n points.
+void traceStencil(std::size_t n, std::size_t iters,
+                  std::size_t elementsPerBlock, TraceSink sink);
+
+/// One O(n²) N-body force sweep over n particles.
+void traceNBody(std::size_t n, std::size_t elementsPerBlock, TraceSink sink);
+
+/// Exact floating point operation counts of the traced kernels — the
+/// "hardware counter" values the performance modeler trains on.
+double matmulFlopCount(std::size_t n);
+double qrFlopCount(std::size_t n);
+double stencilFlopCount(std::size_t n, std::size_t iters);
+double nbodyFlopCount(std::size_t n);
+
+}  // namespace grads::mem

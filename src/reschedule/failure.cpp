@@ -1,0 +1,31 @@
+#include "reschedule/failure.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::reschedule {
+
+void FailureInjector::scheduleNodeFailure(grid::NodeId node, sim::Time failAt,
+                                          sim::Time detectionDelaySec) {
+  GRADS_REQUIRE(detectionDelaySec >= 0.0,
+                "FailureInjector: negative detection delay");
+  engine_->scheduleDaemonAt(failAt, [this, node] {
+    GRADS_WARN("failure") << "node " << gis_->grid().node(node).name()
+                          << " fail-stopped";
+    gis_->setNodeUp(node, false);
+    ++failures_;
+  });
+  engine_->scheduleDaemonAt(failAt + detectionDelaySec, [this, node] {
+    for (Rss* rss : watched_) rss->markFailure(node);
+  });
+}
+
+void FailureInjector::scheduleNodeRecovery(grid::NodeId node, sim::Time at) {
+  engine_->scheduleDaemonAt(at, [this, node] {
+    GRADS_INFO("failure") << "node " << gis_->grid().node(node).name()
+                          << " recovered";
+    gis_->setNodeUp(node, true);
+  });
+}
+
+}  // namespace grads::reschedule

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "reschedule/srs.hpp"
+#include "services/gis.hpp"
+#include "sim/engine.hpp"
+
+namespace grads::reschedule {
+
+/// Fail-stop fault injection with heartbeat-style detection — the fault-
+/// tolerance direction the paper's conclusions point at ("new capabilities,
+/// such as fault tolerance", §5, carried into VGrADS).
+///
+/// At `failAt` the node is marked down in the GIS (schedulers stop placing
+/// work there). `detectionDelaySec` later — the heartbeat timeout — every
+/// registered RSS daemon whose application might run there is signaled;
+/// applications observe the signal at their next collective point, abandon
+/// the incarnation *without* writing a checkpoint (the failed node's memory
+/// is gone), and the application manager restarts them from the last
+/// periodic checkpoint on the surviving resources.
+///
+/// Granularity note: the simulated fail-stop is observed at application
+/// iteration boundaries (our apps are cooperative coroutines), so at most
+/// one in-flight iteration of compute is charged beyond the failure
+/// instant; the *data* loss — everything since the last checkpoint — is
+/// modeled exactly.
+class FailureInjector {
+ public:
+  FailureInjector(sim::Engine& engine, services::Gis& gis)
+      : engine_(&engine), gis_(&gis) {}
+
+  /// Registers an application's RSS daemon for failure notifications.
+  void watch(Rss& rss) { watched_.push_back(&rss); }
+
+  /// Schedules a fail-stop of `node` at time `failAt` (absolute), detected
+  /// `detectionDelaySec` later.
+  void scheduleNodeFailure(grid::NodeId node, sim::Time failAt,
+                           sim::Time detectionDelaySec = 5.0);
+
+  /// Schedules the node's recovery (it rejoins the available pool).
+  void scheduleNodeRecovery(grid::NodeId node, sim::Time at);
+
+  std::size_t failuresInjected() const { return failures_; }
+
+ private:
+  sim::Engine* engine_;
+  services::Gis* gis_;
+  std::vector<Rss*> watched_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace grads::reschedule

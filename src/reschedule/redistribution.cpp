@@ -1,0 +1,90 @@
+#include "reschedule/redistribution.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace grads::reschedule {
+
+RedistributionPlan::RedistributionPlan(int oldRanks, int newRanks,
+                                       std::size_t totalElements,
+                                       std::size_t blockElements,
+                                       double bytesPerElement)
+    : n_(oldRanks), m_(newRanks), bytesPerElement_(bytesPerElement) {
+  GRADS_REQUIRE(oldRanks > 0 && newRanks > 0,
+                "RedistributionPlan: rank counts must be positive");
+  GRADS_REQUIRE(blockElements > 0, "RedistributionPlan: zero block size");
+  GRADS_REQUIRE(bytesPerElement > 0.0,
+                "RedistributionPlan: bytes/element must be positive");
+  volume_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(m_),
+                 0.0);
+
+  const std::size_t fullBlocks = totalElements / blockElements;
+  const std::size_t tailElements = totalElements % blockElements;
+
+  // One period of the ownership pattern: lcm(N, M) blocks.
+  const auto period = static_cast<std::size_t>(
+      std::lcm(static_cast<long long>(n_), static_cast<long long>(m_)));
+  std::vector<double> periodCount(volume_.size(), 0.0);
+  for (std::size_t j = 0; j < period; ++j) {
+    const auto from = static_cast<int>(j % static_cast<std::size_t>(n_));
+    const auto to = static_cast<int>(j % static_cast<std::size_t>(m_));
+    periodCount[static_cast<std::size_t>(from) *
+                    static_cast<std::size_t>(m_) +
+                static_cast<std::size_t>(to)] += 1.0;
+  }
+  const std::size_t periods = fullBlocks / period;
+  for (std::size_t i = 0; i < volume_.size(); ++i) {
+    volume_[i] = periodCount[i] * static_cast<double>(periods) *
+                 static_cast<double>(blockElements);
+  }
+  // Remainder blocks, then the final partial block.
+  for (std::size_t j = periods * period; j < fullBlocks; ++j) {
+    const auto from = static_cast<int>(j % static_cast<std::size_t>(n_));
+    const auto to = static_cast<int>(j % static_cast<std::size_t>(m_));
+    volume_[static_cast<std::size_t>(from) * static_cast<std::size_t>(m_) +
+            static_cast<std::size_t>(to)] +=
+        static_cast<double>(blockElements);
+  }
+  if (tailElements > 0) {
+    const std::size_t j = fullBlocks;
+    const auto from = static_cast<int>(j % static_cast<std::size_t>(n_));
+    const auto to = static_cast<int>(j % static_cast<std::size_t>(m_));
+    volume_[static_cast<std::size_t>(from) * static_cast<std::size_t>(m_) +
+            static_cast<std::size_t>(to)] += static_cast<double>(tailElements);
+  }
+}
+
+double RedistributionPlan::bytes(int from, int to) const {
+  GRADS_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < m_,
+                "RedistributionPlan::bytes: rank out of range");
+  return volume_[static_cast<std::size_t>(from) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(to)] *
+         bytesPerElement_;
+}
+
+double RedistributionPlan::bytesInto(int to) const {
+  double total = 0.0;
+  for (int from = 0; from < n_; ++from) total += bytes(from, to);
+  return total;
+}
+
+double RedistributionPlan::bytesFrom(int from) const {
+  double total = 0.0;
+  for (int to = 0; to < m_; ++to) total += bytes(from, to);
+  return total;
+}
+
+double RedistributionPlan::residentBytes() const {
+  double total = 0.0;
+  for (int r = 0; r < std::min(n_, m_); ++r) total += bytes(r, r);
+  return total;
+}
+
+double RedistributionPlan::totalBytes() const {
+  double total = 0.0;
+  for (int from = 0; from < n_; ++from) total += bytesFrom(from);
+  return total;
+}
+
+}  // namespace grads::reschedule

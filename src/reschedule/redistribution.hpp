@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace grads::reschedule {
+
+/// Exact data-movement volumes for a 1-D block-cyclic N-to-M processor
+/// redistribution — the operation SRS performs when a checkpoint written by
+/// N processes is restored by M processes ("SRS can transparently handle
+/// the redistribution of certain data distributions (e.g., block cyclic)
+/// between different numbers of processors", paper §4.1.1).
+///
+/// Elements are grouped into blocks of `blockElements`; block j belongs to
+/// old rank (j mod N) and new rank (j mod M). The ownership pattern repeats
+/// every lcm(N, M) blocks, so volumes are computed from one period plus the
+/// remainder — O(lcm(N,M) + N·M), independent of the array size.
+class RedistributionPlan {
+ public:
+  RedistributionPlan(int oldRanks, int newRanks, std::size_t totalElements,
+                     std::size_t blockElements, double bytesPerElement);
+
+  int oldRanks() const { return n_; }
+  int newRanks() const { return m_; }
+
+  /// Bytes new rank `to` must fetch from old rank `from`'s checkpoint.
+  double bytes(int from, int to) const;
+
+  /// Total bytes new rank `to` reads (its whole new share).
+  double bytesInto(int to) const;
+  /// Total bytes old rank `from` serves.
+  double bytesFrom(int from) const;
+  /// Bytes that do not move between ranks (from == to).
+  double residentBytes() const;
+  /// Total array size in bytes.
+  double totalBytes() const;
+
+ private:
+  int n_;
+  int m_;
+  double bytesPerElement_;
+  std::vector<double> volume_;  // n_ × m_, element counts
+};
+
+}  // namespace grads::reschedule

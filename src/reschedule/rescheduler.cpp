@@ -1,0 +1,112 @@
+#include "reschedule/rescheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::reschedule {
+
+const char* reschedulerModeName(ReschedulerMode m) {
+  switch (m) {
+    case ReschedulerMode::kDefault: return "default";
+    case ReschedulerMode::kForcedMigrate: return "forced-migrate";
+    case ReschedulerMode::kForcedStay: return "forced-stay";
+  }
+  return "?";
+}
+
+StopRestartRescheduler::StopRestartRescheduler(const services::Gis& gis,
+                                               const services::Nws* nws,
+                                               ReschedulerOptions options)
+    : gis_(&gis), nws_(nws), opts_(options) {
+  GRADS_REQUIRE(opts_.worstCaseMigrationSec >= 0.0,
+                "Rescheduler: negative migration cost");
+}
+
+MigrationDecision StopRestartRescheduler::evaluate(
+    const core::Cop& cop, const std::vector<grid::NodeId>& current,
+    std::size_t phase) const {
+  GRADS_REQUIRE(cop.perfModel && cop.mapper,
+                "Rescheduler: COP lacks model or mapper");
+  MigrationDecision d;
+  d.time = gis_->grid().engine().now();
+  d.assumedMigrationCostSec = opts_.worstCaseMigrationSec;
+
+  // Updated Grid resource information from NWS, then the COP's mapper picks
+  // the best candidate resource set.
+  d.target = cop.mapper->chooseMapping(gis_->availableNodes(), nws_);
+  d.remainingOnCurrentSec = cop.perfModel->remainingSeconds(
+      current, phase, nws_, core::RateView::kIncumbent);
+  d.remainingOnTargetSec = cop.perfModel->remainingSeconds(
+      d.target, phase, nws_, core::RateView::kNewProcess);
+
+  const bool sameResources = d.target == current;
+  const double benefit = d.remainingOnCurrentSec -
+                         (d.remainingOnTargetSec + d.assumedMigrationCostSec);
+  switch (opts_.mode) {
+    case ReschedulerMode::kDefault:
+      d.migrate = !sameResources && benefit > opts_.minBenefitSec;
+      d.reason = d.migrate
+                     ? "predicted benefit " + std::to_string(benefit) + " s"
+                     : (sameResources ? "best resources are current ones"
+                                      : "predicted benefit " +
+                                            std::to_string(benefit) +
+                                            " s too small");
+      break;
+    case ReschedulerMode::kForcedMigrate:
+      d.migrate = !sameResources;
+      d.reason = "forced migrate";
+      break;
+    case ReschedulerMode::kForcedStay:
+      d.migrate = false;
+      d.reason = "forced stay";
+      break;
+  }
+  return d;
+}
+
+autopilot::RescheduleOutcome StopRestartRescheduler::onViolation(
+    const core::Cop& cop, Rss& rss, const std::vector<grid::NodeId>& current,
+    std::size_t phase) {
+  MigrationDecision d = evaluate(cop, current, phase);
+  GRADS_INFO("rescheduler")
+      << cop.name << ": violation at phase " << phase << " -> "
+      << (d.migrate ? "migrate" : "stay") << " (" << d.reason
+      << "; cur=" << d.remainingOnCurrentSec
+      << "s new=" << d.remainingOnTargetSec << "s +"
+      << d.assumedMigrationCostSec << "s)";
+  decisions_.push_back(d);
+  if (!d.migrate) return autopilot::RescheduleOutcome::kDeclined;
+  rss.requestStop();
+  return autopilot::RescheduleOutcome::kMigrated;
+}
+
+void StopRestartRescheduler::registerRunning(const std::string& name,
+                                             RunningApp app) {
+  GRADS_REQUIRE(app.cop != nullptr && app.rss != nullptr && app.mapping &&
+                    app.phase,
+                "Rescheduler::registerRunning: incomplete handle");
+  running_[name] = std::move(app);
+}
+
+void StopRestartRescheduler::unregisterRunning(const std::string& name) {
+  running_.erase(name);
+}
+
+void StopRestartRescheduler::onAppCompleted() {
+  if (!opts_.opportunistic) return;
+  for (auto& [name, app] : running_) {
+    if (app.rss->stopRequested()) continue;  // already migrating
+    MigrationDecision d = evaluate(*app.cop, app.mapping(), app.phase());
+    decisions_.push_back(d);
+    if (d.migrate) {
+      GRADS_INFO("rescheduler")
+          << name << ": opportunistic migration to freed resources ("
+          << d.reason << ")";
+      app.rss->requestStop();
+    }
+  }
+}
+
+}  // namespace grads::reschedule

@@ -1,0 +1,136 @@
+#include "reschedule/srs.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::reschedule {
+
+Rss::Rss(sim::Engine& engine, std::string appName)
+    : engine_(&engine), app_(std::move(appName)) {}
+
+void Rss::requestStop() {
+  if (!stopRequested_) {
+    GRADS_INFO("rss") << app_ << ": stop requested at t="
+                      << engine_->now();
+  }
+  stopRequested_ = true;
+}
+
+void Rss::beginIncarnation(int nProcs) {
+  GRADS_REQUIRE(nProcs > 0, "Rss::beginIncarnation: need processes");
+  previousProcs_ = currentProcs_;
+  currentProcs_ = nProcs;
+  ++incarnation_;
+  stopRequested_ = false;
+  failureSignaled_ = false;
+  failedNode_ = grid::kNoId;
+}
+
+void Rss::markFailure(grid::NodeId node) {
+  if (!failureSignaled_) {
+    GRADS_WARN("rss") << app_ << ": node failure signaled at t="
+                      << engine_->now();
+  }
+  failureSignaled_ = true;
+  failedNode_ = node;
+}
+
+Srs::Srs(services::Ibp& ibp, Rss& rss, vmpi::World& world)
+    : ibp_(&ibp), rss_(&rss), world_(&world) {}
+
+void Srs::registerArray(const std::string& name, double totalBytes,
+                        std::size_t blockElements, double bytesPerElement) {
+  GRADS_REQUIRE(totalBytes >= 0.0, "Srs::registerArray: negative size");
+  arrays_[name] = ArrayInfo{totalBytes, blockElements, bytesPerElement};
+}
+
+double Srs::registeredBytes() const {
+  double total = 0.0;
+  for (const auto& [name, info] : arrays_) {
+    (void)name;
+    total += info.totalBytes;
+  }
+  return total;
+}
+
+std::string Srs::objectKey(const std::string& app, const std::string& array,
+                           int rank, int incarnation) {
+  return app + ".ckpt." + array + ".r" + std::to_string(rank) + ".i" +
+         std::to_string(incarnation);
+}
+
+sim::Task Srs::checkIfStop(int rank, bool* shouldStop) {
+  GRADS_REQUIRE(shouldStop != nullptr, "Srs::checkIfStop: null output");
+  // Poll the RSS daemon; the real SRS exchanges a small control message.
+  *shouldStop = rss_->stopRequested();
+  if (*shouldStop) {
+    co_await writeCheckpoint(rank);
+  }
+}
+
+double Srs::writeSpanSeconds() const {
+  return writeEnd_ < 0.0 ? 0.0 : writeEnd_ - writeStart_;
+}
+
+double Srs::readSpanSeconds() const {
+  return readEnd_ < 0.0 ? 0.0 : readEnd_ - readStart_;
+}
+
+sim::Task Srs::writeCheckpoint(int rank) {
+  const int p = world_->size();
+  const grid::NodeId node = world_->nodeOf(rank);
+  const double t0 = world_->engine().now();
+  if (writeStart_ < 0.0 || t0 < writeStart_) writeStart_ = t0;
+  const grid::NodeId depot = stableDepot_ != grid::kNoId ? stableDepot_ : node;
+  for (const auto& [array, info] : arrays_) {
+    // This rank's exact block-cyclic share (block counts are generally not
+    // divisible by p, so shares are unequal by up to one block).
+    const auto elements = static_cast<std::size_t>(
+        info.totalBytes / info.bytesPerElement + 0.5);
+    const RedistributionPlan owned(p, 1, elements, info.blockElements,
+                                   info.bytesPerElement);
+    co_await ibp_->put(objectKey(rss_->appName(), array, rank,
+                                 rss_->incarnation()),
+                       owned.bytes(rank, 0), depot, node);
+  }
+  rss_->markCheckpoint();
+  writeEnd_ = std::max(writeEnd_, world_->engine().now());
+  GRADS_DEBUG("srs") << rss_->appName() << " rank " << rank
+                     << ": checkpoint written";
+}
+
+sim::Task Srs::restoreCheckpoint(int rank) {
+  GRADS_REQUIRE(rss_->hasCheckpoint(), "Srs::restoreCheckpoint: no checkpoint");
+  const int oldP = rss_->previousProcs();
+  GRADS_REQUIRE(oldP > 0, "Srs::restoreCheckpoint: no previous incarnation");
+  const int newP = world_->size();
+  const grid::NodeId node = world_->nodeOf(rank);
+  const double t0 = world_->engine().now();
+  if (readStart_ < 0.0 || t0 < readStart_) readStart_ = t0;
+  // Block-cyclic N-to-M redistribution: the exact per-pair volumes come
+  // from the block-ownership intersection (RedistributionPlan); this rank
+  // pulls its slices from every old depot holding part of its new share
+  // (mostly across the WAN).
+  for (const auto& [array, info] : arrays_) {
+    const auto elements = static_cast<std::size_t>(
+        info.totalBytes / info.bytesPerElement + 0.5);
+    const RedistributionPlan plan(oldP, newP, elements, info.blockElements,
+                                  info.bytesPerElement);
+    for (int o = 0; o < oldP; ++o) {
+      const double slice = plan.bytes(o, rank);
+      if (slice <= 0.0) continue;
+      co_await ibp_->getSlice(
+          objectKey(rss_->appName(), array, o, rss_->incarnation() - 1), slice,
+          node);
+    }
+  }
+  restored_ = true;
+  readEnd_ = std::max(readEnd_, world_->engine().now());
+  GRADS_DEBUG("srs") << rss_->appName() << " rank " << rank
+                     << ": checkpoint restored (" << oldP << " -> " << newP
+                     << " procs)";
+}
+
+}  // namespace grads::reschedule

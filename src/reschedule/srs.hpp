@@ -1,0 +1,139 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "reschedule/redistribution.hpp"
+#include "services/ibp.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "vmpi/world.hpp"
+
+namespace grads::reschedule {
+
+/// The Runtime Support System daemon (paper §4.1.1): lives for the whole
+/// application execution, spans migrations, and mediates between external
+/// actors (the rescheduler) and the SRS library inside the application —
+/// carrying the stop flag, the restored iteration counter, and the previous
+/// incarnation's process count.
+class Rss {
+ public:
+  explicit Rss(sim::Engine& engine, std::string appName);
+
+  const std::string& appName() const { return app_; }
+
+  /// Rescheduler-side: ask the running application to checkpoint and stop.
+  void requestStop();
+  bool stopRequested() const { return stopRequested_; }
+
+  /// Failure-detector-side: a node running this application fail-stopped.
+  /// The application must abandon the incarnation *without* checkpointing
+  /// (the dead node's data is gone) and restart from the last periodic
+  /// checkpoint, if any.
+  void markFailure(grid::NodeId node);
+  bool failureSignaled() const { return failureSignaled_; }
+  grid::NodeId failedNode() const { return failedNode_; }
+
+  /// Application-manager-side bookkeeping across incarnations.
+  void beginIncarnation(int nProcs);
+  int incarnation() const { return incarnation_; }
+  int previousProcs() const { return previousProcs_; }
+
+  void storeIteration(std::size_t it) { storedIteration_ = it; }
+  std::size_t storedIteration() const { return storedIteration_; }
+
+  bool hasCheckpoint() const { return hasCheckpoint_; }
+  void markCheckpoint() { hasCheckpoint_ = true; }
+
+ private:
+  sim::Engine* engine_;
+  std::string app_;
+  bool stopRequested_ = false;
+  bool failureSignaled_ = false;
+  grid::NodeId failedNode_ = grid::kNoId;
+  int incarnation_ = 0;
+  int previousProcs_ = 0;
+  int currentProcs_ = 0;
+  std::size_t storedIteration_ = 0;
+  bool hasCheckpoint_ = false;
+};
+
+/// SRS — Stop Restart Software [22]: user-level checkpointing atop MPI.
+/// Applications register their distributed data once; at any stop point they
+/// ask SRS whether the rescheduler wants them gone, checkpoint their share
+/// to the *local* IBP depot, and exit. A restarted incarnation (possibly on
+/// a different number of processors) reads the checkpoint back with an
+/// N-to-M block-cyclic redistribution.
+class Srs {
+ public:
+  Srs(services::Ibp& ibp, Rss& rss, vmpi::World& world);
+
+  /// Registers a block-cyclic distributed array of `totalBytes`, with the
+  /// given distribution block size in elements (ScaLAPACK nb).
+  void registerArray(const std::string& name, double totalBytes,
+                     std::size_t blockElements = 64,
+                     double bytesPerElement = 8.0);
+
+  /// Directs checkpoints to a *stable* depot instead of each rank's local
+  /// disk. Required for fault tolerance: a fail-stopped node takes its
+  /// local depot with it, whereas migration-only checkpoints (the paper's
+  /// §4.1 usage) can stay local and cheap.
+  void setStableDepot(grid::NodeId node) { stableDepot_ = node; }
+  double registeredBytes() const;
+
+  /// Stop-point poll: if the rescheduler requested a stop, writes this
+  /// rank's checkpoint and sets *shouldStop. All ranks must call it at the
+  /// same iteration boundary.
+  sim::Task checkIfStop(int rank, bool* shouldStop);
+
+  /// Writes this rank's share of every registered array to its local depot.
+  /// "The time for writing checkpoints is insignificant since the
+  /// checkpoints are written to IBP storage on local disks."
+  sim::Task writeCheckpoint(int rank);
+
+  /// Reads this rank's (new) share from the previous incarnation's depots:
+  /// an N-to-M redistribution crossing the network — the dominant cost of
+  /// migration in Figure 3.
+  sim::Task restoreCheckpoint(int rank);
+
+  bool restoredThisIncarnation() const { return restored_; }
+
+  /// Side-effect-free poll of the RSS stop flag (for apps that make the
+  /// stop decision collectively before checkpointing).
+  bool stopRequested() const { return rss_->stopRequested(); }
+  /// Side-effect-free poll of the fail-stop signal.
+  bool failureSignaled() const { return rss_->failureSignaled(); }
+  /// Records the iteration the restarted incarnation must resume from.
+  void storeIteration(std::size_t it) { rss_->storeIteration(it); }
+
+  /// Wall-clock spans (first start → last end across all ranks) of the
+  /// checkpoint write/read of this incarnation — Figure 3's "Checkpoint
+  /// writing" / "Checkpoint reading" segments.
+  double writeSpanSeconds() const;
+  double readSpanSeconds() const;
+
+ private:
+  static std::string objectKey(const std::string& app,
+                               const std::string& array, int rank,
+                               int incarnation);
+
+  struct ArrayInfo {
+    double totalBytes = 0.0;
+    std::size_t blockElements = 64;
+    double bytesPerElement = 8.0;
+  };
+
+  services::Ibp* ibp_;
+  Rss* rss_;
+  vmpi::World* world_;
+  std::map<std::string, ArrayInfo> arrays_;
+  grid::NodeId stableDepot_ = grid::kNoId;
+  bool restored_ = false;
+  double writeStart_ = -1.0;
+  double writeEnd_ = -1.0;
+  double readStart_ = -1.0;
+  double readEnd_ = -1.0;
+};
+
+}  // namespace grads::reschedule

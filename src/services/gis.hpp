@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+
+namespace grads::services {
+
+/// Well-known software package names used across the framework.
+namespace software {
+inline constexpr const char* kLocalBinder = "grads-binder";
+inline constexpr const char* kSrsLibrary = "libsrs";
+inline constexpr const char* kAutopilotSensors = "libautopilot";
+inline constexpr const char* kScalapack = "libscalapack";
+inline constexpr const char* kCompiler = "cc";
+}  // namespace software
+
+/// The GrADS Information Service (MDS-style directory): which resources
+/// exist, what software is installed where, and per-node attributes. The
+/// distributed binder queries it to locate the local binder code and the
+/// application-specific libraries on every scheduled node (paper §2).
+class Gis {
+ public:
+  explicit Gis(const grid::Grid& grid);
+
+  /// Registers a software package as installed on a node, at a path.
+  void installSoftware(grid::NodeId node, const std::string& package,
+                       const std::string& path = "/usr/grads/lib");
+  /// Installs a package on every node of the grid.
+  void installEverywhere(const std::string& package,
+                         const std::string& path = "/usr/grads/lib");
+
+  bool hasSoftware(grid::NodeId node, const std::string& package) const;
+  /// Path of a package on a node, if installed.
+  std::optional<std::string> softwareLocation(grid::NodeId node,
+                                              const std::string& package) const;
+
+  /// Nodes that have all of `packages` installed (and match arch if given).
+  std::vector<grid::NodeId> findNodes(
+      const std::vector<std::string>& packages,
+      std::optional<grid::Arch> arch = std::nullopt) const;
+
+  /// Marks a node up/down; down nodes are excluded from discovery.
+  void setNodeUp(grid::NodeId node, bool up);
+  bool isNodeUp(grid::NodeId node) const;
+
+  /// All currently-available nodes ("determine which resources are
+  /// available", paper §1).
+  std::vector<grid::NodeId> availableNodes() const;
+
+  const grid::Grid& grid() const { return *grid_; }
+
+ private:
+  const grid::Grid* grid_;
+  std::map<grid::NodeId, std::map<std::string, std::string>> software_;
+  std::set<grid::NodeId> down_;
+};
+
+}  // namespace grads::services

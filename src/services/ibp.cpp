@@ -1,0 +1,75 @@
+#include "services/ibp.hpp"
+
+#include "sim/sync.hpp"
+#include "util/error.hpp"
+
+namespace grads::services {
+
+Ibp::Ibp(grid::Grid& grid) : grid_(&grid) {}
+
+sim::PsResource& Ibp::diskFor(grid::NodeId node) {
+  auto it = disks_.find(node);
+  if (it == disks_.end()) {
+    const auto& spec = grid_->node(node).spec();
+    it = disks_
+             .emplace(node, std::make_unique<sim::PsResource>(
+                                grid_->engine(), spec.diskBandwidth,
+                                sim::kInfTime, spec.name + ".disk"))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task Ibp::put(const std::string& key, double bytes, grid::NodeId atNode,
+                   grid::NodeId fromNode) {
+  GRADS_REQUIRE(bytes >= 0.0, "Ibp::put: negative size");
+  GRADS_REQUIRE(atNode < grid_->nodeCount(), "Ibp::put: unknown node");
+  if (fromNode != grid::kNoId && fromNode != atNode) {
+    GRADS_REQUIRE(fromNode < grid_->nodeCount(), "Ibp::put: unknown source");
+    co_await grid_->transfer(fromNode, atNode, bytes);
+  }
+  co_await diskFor(atNode).consume(bytes);
+  objects_[key] = Object{bytes, atNode};
+}
+
+sim::Task Ibp::getSlice(const std::string& key, double bytes,
+                        grid::NodeId toNode) {
+  const auto it = objects_.find(key);
+  GRADS_REQUIRE(it != objects_.end(), "Ibp::get: unknown object " + key);
+  GRADS_REQUIRE(bytes <= it->second.bytes + 1e-6,
+                "Ibp::getSlice: slice larger than object");
+  const grid::NodeId from = it->second.node;
+  // Disk read and network transfer overlap poorly at this scale; model them
+  // as sequential stages (disk is rarely the bottleneck for remote reads).
+  co_await diskFor(from).consume(bytes);
+  if (from != toNode) co_await grid_->transfer(from, toNode, bytes);
+}
+
+sim::Task Ibp::get(const std::string& key, grid::NodeId toNode) {
+  const auto it = objects_.find(key);
+  GRADS_REQUIRE(it != objects_.end(), "Ibp::get: unknown object " + key);
+  co_await getSlice(key, it->second.bytes, toNode);
+}
+
+bool Ibp::exists(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+double Ibp::sizeOf(const std::string& key) const {
+  const auto it = objects_.find(key);
+  GRADS_REQUIRE(it != objects_.end(), "Ibp::sizeOf: unknown object " + key);
+  return it->second.bytes;
+}
+
+grid::NodeId Ibp::locationOf(const std::string& key) const {
+  const auto it = objects_.find(key);
+  GRADS_REQUIRE(it != objects_.end(), "Ibp::locationOf: unknown object " + key);
+  return it->second.node;
+}
+
+void Ibp::remove(const std::string& key) {
+  const auto erased = objects_.erase(key);
+  GRADS_REQUIRE(erased == 1, "Ibp::remove: unknown object " + key);
+}
+
+}  // namespace grads::services

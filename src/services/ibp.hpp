@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "grid/grid.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/task.hpp"
+
+namespace grads::services {
+
+/// Internet Backplane Protocol storage fabric: one depot per node, backed by
+/// the node's local disk. SRS writes checkpoints to the *local* depot (fast,
+/// disk-bandwidth bound) and restarted processes read them across the
+/// network (slow) — the asymmetry that dominates Figure 3's rescheduling
+/// cost ("the time for reading checkpoints dominated ... while the time for
+/// writing checkpoints is insignificant").
+class Ibp {
+ public:
+  explicit Ibp(grid::Grid& grid);
+  Ibp(const Ibp&) = delete;
+  Ibp& operator=(const Ibp&) = delete;
+
+  /// Stores `bytes` under `key` in the depot co-located with `atNode`,
+  /// written by a process running on `fromNode` (kNoId = atNode): a remote
+  /// depot costs the network transfer plus the depot's disk time.
+  sim::Task put(const std::string& key, double bytes, grid::NodeId atNode,
+                grid::NodeId fromNode = grid::kNoId);
+
+  /// Reads object `key` into a process on `toNode`: pays depot disk time
+  /// plus (if remote) the network transfer from the depot's node.
+  sim::Task get(const std::string& key, grid::NodeId toNode);
+
+  /// Reads only a `bytes`-sized slice of object `key` to `toNode` (used for
+  /// N-to-M redistribution where each reader pulls its own pieces).
+  sim::Task getSlice(const std::string& key, double bytes,
+                     grid::NodeId toNode);
+
+  bool exists(const std::string& key) const;
+  double sizeOf(const std::string& key) const;
+  grid::NodeId locationOf(const std::string& key) const;
+  void remove(const std::string& key);
+  std::size_t objectCount() const { return objects_.size(); }
+
+ private:
+  sim::PsResource& diskFor(grid::NodeId node);
+
+  struct Object {
+    double bytes = 0.0;
+    grid::NodeId node = grid::kNoId;
+  };
+
+  grid::Grid* grid_;
+  std::map<grid::NodeId, std::unique_ptr<sim::PsResource>> disks_;
+  std::map<std::string, Object> objects_;
+};
+
+}  // namespace grads::services

@@ -1,0 +1,300 @@
+#include "services/nws.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace grads::services {
+
+namespace {
+
+class LastValue final : public Forecaster {
+ public:
+  void update(double v) override { last_ = v; }
+  double forecast() const override { return last_; }
+  const char* name() const override { return "last-value"; }
+
+ private:
+  double last_ = 0.0;
+};
+
+class RunningMean final : public Forecaster {
+ public:
+  void update(double v) override {
+    ++n_;
+    mean_ += (v - mean_) / static_cast<double>(n_);
+  }
+  double forecast() const override { return mean_; }
+  const char* name() const override { return "running-mean"; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+};
+
+class SlidingMedian final : public Forecaster {
+ public:
+  explicit SlidingMedian(std::size_t window) : window_(window) {
+    GRADS_REQUIRE(window >= 1, "SlidingMedian: empty window");
+  }
+  void update(double v) override {
+    values_.push_back(v);
+    if (values_.size() > window_) values_.pop_front();
+  }
+  double forecast() const override {
+    if (values_.empty()) return 0.0;
+    std::vector<double> v(values_.begin(), values_.end());
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+  }
+  const char* name() const override { return "sliding-median"; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+};
+
+class ExpSmoothing final : public Forecaster {
+ public:
+  explicit ExpSmoothing(double alpha) : alpha_(alpha) {
+    GRADS_REQUIRE(alpha > 0.0 && alpha <= 1.0, "ExpSmoothing: bad alpha");
+  }
+  void update(double v) override {
+    value_ = first_ ? v : alpha_ * v + (1.0 - alpha_) * value_;
+    first_ = false;
+  }
+  double forecast() const override { return value_; }
+  const char* name() const override { return "exp-smoothing"; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool first_ = true;
+};
+
+class SlidingMean final : public Forecaster {
+ public:
+  explicit SlidingMean(std::size_t window) : window_(window) {
+    GRADS_REQUIRE(window >= 1, "SlidingMean: empty window");
+  }
+  void update(double v) override {
+    values_.push_back(v);
+    sum_ += v;
+    if (values_.size() > window_) {
+      sum_ -= values_.front();
+      values_.pop_front();
+    }
+  }
+  double forecast() const override {
+    return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+  }
+  const char* name() const override { return "sliding-mean"; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+class Ar1 final : public Forecaster {
+ public:
+  void update(double v) override {
+    if (n_ > 0) {
+      // Accumulate sufficient statistics for x_{t+1} = a·x_t + b.
+      ++pairs_;
+      sx_ += prev_;
+      sy_ += v;
+      sxx_ += prev_ * prev_;
+      sxy_ += prev_ * v;
+    }
+    prev_ = v;
+    ++n_;
+  }
+  double forecast() const override {
+    if (pairs_ < 3) return prev_;
+    const double det = pairs_ * sxx_ - sx_ * sx_;
+    if (std::abs(det) < 1e-12) return prev_;
+    const double a = (pairs_ * sxy_ - sx_ * sy_) / det;
+    const double b = (sy_ - a * sx_) / pairs_;
+    return a * prev_ + b;
+  }
+  const char* name() const override { return "ar1"; }
+
+ private:
+  double prev_ = 0.0;
+  std::size_t n_ = 0;
+  double pairs_ = 0.0;
+  double sx_ = 0.0;
+  double sy_ = 0.0;
+  double sxx_ = 0.0;
+  double sxy_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Forecaster> makeSlidingMean(std::size_t window) {
+  return std::make_unique<SlidingMean>(window);
+}
+std::unique_ptr<Forecaster> makeAr1() { return std::make_unique<Ar1>(); }
+
+std::unique_ptr<Forecaster> makeLastValue() {
+  return std::make_unique<LastValue>();
+}
+std::unique_ptr<Forecaster> makeRunningMean() {
+  return std::make_unique<RunningMean>();
+}
+std::unique_ptr<Forecaster> makeSlidingMedian(std::size_t window) {
+  return std::make_unique<SlidingMedian>(window);
+}
+std::unique_ptr<Forecaster> makeExpSmoothing(double alpha) {
+  return std::make_unique<ExpSmoothing>(alpha);
+}
+
+ForecasterBattery::ForecasterBattery() {
+  entries_.push_back(Entry{makeLastValue()});
+  entries_.push_back(Entry{makeRunningMean()});
+  entries_.push_back(Entry{makeSlidingMedian(5)});
+  entries_.push_back(Entry{makeSlidingMedian(21)});
+  entries_.push_back(Entry{makeExpSmoothing(0.2)});
+  entries_.push_back(Entry{makeExpSmoothing(0.5)});
+  entries_.push_back(Entry{makeSlidingMean(10)});
+  entries_.push_back(Entry{makeAr1()});
+}
+
+void ForecasterBattery::addMeasurement(double value) {
+  // Score each forecaster's *prior* prediction against this measurement,
+  // then feed it the new observation — the NWS postcasting scheme.
+  for (auto& e : entries_) {
+    if (count_ > 0) {
+      e.absErrorSum += std::abs(e.forecaster->forecast() - value);
+      ++e.predictions;
+    }
+    e.forecaster->update(value);
+  }
+  last_ = value;
+  ++count_;
+}
+
+std::size_t ForecasterBattery::bestIndex() const {
+  std::size_t best = 0;
+  double bestErr = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    const double err = e.predictions == 0
+                           ? std::numeric_limits<double>::infinity()
+                           : e.absErrorSum / static_cast<double>(e.predictions);
+    if (err < bestErr) {
+      bestErr = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double ForecasterBattery::forecast() const {
+  GRADS_REQUIRE(count_ > 0, "ForecasterBattery: no measurements yet");
+  return entries_[bestIndex()].forecaster->forecast();
+}
+
+std::string ForecasterBattery::bestName() const {
+  return entries_[bestIndex()].forecaster->name();
+}
+
+double ForecasterBattery::bestError() const {
+  const auto& e = entries_[bestIndex()];
+  return e.predictions == 0 ? 0.0
+                            : e.absErrorSum / static_cast<double>(e.predictions);
+}
+
+Nws::Nws(sim::Engine& engine, grid::Grid& grid, double periodSec,
+         double relativeNoise, std::uint64_t seed)
+    : engine_(&engine),
+      grid_(&grid),
+      period_(periodSec),
+      noise_(relativeNoise),
+      rng_(seed) {
+  GRADS_REQUIRE(periodSec > 0.0, "Nws: period must be positive");
+  GRADS_REQUIRE(relativeNoise >= 0.0, "Nws: negative noise");
+}
+
+void Nws::start() {
+  if (running_) return;
+  running_ = true;
+  sampleAll();  // take an immediate reading, then rearm periodically
+}
+
+void Nws::sampleAll() {
+  if (!running_) return;
+  for (grid::NodeId id = 0; id < grid_->nodeCount(); ++id) {
+    const double truth = grid_->node(id).cpuAvailability();
+    const double measured =
+        std::clamp(truth * (1.0 + rng_.normal(0.0, noise_)), 0.0, 1.0);
+    cpu_[id].addMeasurement(measured);
+    const double incTruth = grid_->node(id).incumbentAvailability();
+    const double incMeasured =
+        std::clamp(incTruth * (1.0 + rng_.normal(0.0, noise_)), 0.0, 1.0);
+    incumbent_[id].addMeasurement(incMeasured);
+  }
+  for (grid::LinkId lid = 0; lid < grid_->linkCount(); ++lid) {
+    const double truth = grid_->link(lid).availableBandwidth();
+    const double measured =
+        std::max(0.0, truth * (1.0 + rng_.normal(0.0, noise_)));
+    bw_[lid].addMeasurement(measured);
+  }
+  ++samples_;
+  engine_->scheduleDaemon(period_, [this] { sampleAll(); });
+}
+
+double Nws::cpuAvailability(grid::NodeId node) const {
+  const auto it = cpu_.find(node);
+  GRADS_REQUIRE(it != cpu_.end() && it->second.measurements() > 0,
+                "Nws: no CPU measurements for node");
+  return it->second.forecast();
+}
+
+double Nws::bandwidth(grid::LinkId link) const {
+  const auto it = bw_.find(link);
+  GRADS_REQUIRE(it != bw_.end() && it->second.measurements() > 0,
+                "Nws: no bandwidth measurements for link");
+  return it->second.forecast();
+}
+
+double Nws::latency(grid::LinkId link) const {
+  return grid_->link(link).latency();
+}
+
+double Nws::transferTime(grid::NodeId src, grid::NodeId dst,
+                         double bytes) const {
+  const auto route = grid_->route(src, dst);
+  if (route.links.empty()) return 0.0;
+  double minBw = std::numeric_limits<double>::infinity();
+  for (const auto lid : route.links) minBw = std::min(minBw, bandwidth(lid));
+  if (minBw <= 0.0) return std::numeric_limits<double>::infinity();
+  return route.latencySec + bytes / minBw;
+}
+
+double Nws::incumbentAvailability(grid::NodeId node) const {
+  const auto it = incumbent_.find(node);
+  GRADS_REQUIRE(it != incumbent_.end() && it->second.measurements() > 0,
+                "Nws: no incumbent measurements for node");
+  return it->second.forecast();
+}
+
+double Nws::effectiveRate(grid::NodeId node) const {
+  return cpuAvailability(node) *
+         grid_->node(node).spec().effectiveFlopsPerCpu();
+}
+
+double Nws::incumbentRate(grid::NodeId node) const {
+  return incumbentAvailability(node) *
+         grid_->node(node).spec().effectiveFlopsPerCpu();
+}
+
+const ForecasterBattery& Nws::cpuSeries(grid::NodeId node) const {
+  const auto it = cpu_.find(node);
+  GRADS_REQUIRE(it != cpu_.end(), "Nws: node not monitored");
+  return it->second;
+}
+
+}  // namespace grads::services

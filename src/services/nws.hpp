@@ -1,0 +1,111 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace grads::services {
+
+/// One forecasting strategy over a measurement series. The real Network
+/// Weather Service [Wolski et al.] runs a battery of simple predictors and
+/// dynamically selects whichever has the lowest error so far; we reproduce
+/// that design.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  virtual void update(double value) = 0;
+  virtual double forecast() const = 0;
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<Forecaster> makeLastValue();
+std::unique_ptr<Forecaster> makeRunningMean();
+std::unique_ptr<Forecaster> makeSlidingMean(std::size_t window);
+std::unique_ptr<Forecaster> makeSlidingMedian(std::size_t window);
+std::unique_ptr<Forecaster> makeExpSmoothing(double alpha);
+/// First-order autoregressive predictor with online least-squares fit of
+/// x_{t+1} ≈ a·x_t + b (captures mean-reverting load dynamics).
+std::unique_ptr<Forecaster> makeAr1();
+
+/// Battery of forecasters with per-forecaster mean-absolute-error tracking;
+/// forecast() delegates to the current best.
+class ForecasterBattery {
+ public:
+  ForecasterBattery();  ///< the standard NWS-style battery
+
+  void addMeasurement(double value);
+  double forecast() const;
+  /// Name of the forecaster currently selected as best.
+  std::string bestName() const;
+  /// Mean absolute forecast error of the best forecaster so far.
+  double bestError() const;
+  std::size_t measurements() const { return count_; }
+  double lastValue() const { return last_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Forecaster> forecaster;
+    double absErrorSum = 0.0;
+    std::size_t predictions = 0;
+  };
+  std::size_t bestIndex() const;
+
+  std::vector<Entry> entries_;
+  std::size_t count_ = 0;
+  double last_ = 0.0;
+};
+
+/// The Network Weather Service: periodically senses node CPU availability
+/// and link bandwidth/latency (ground truth + measurement noise) and serves
+/// forecasts to schedulers and the rescheduler (paper §3.1, §4.1.1).
+class Nws {
+ public:
+  Nws(sim::Engine& engine, grid::Grid& grid, double periodSec = 10.0,
+      double relativeNoise = 0.03, std::uint64_t seed = 1234);
+
+  /// Begins periodic monitoring of every node and link in the grid.
+  void start();
+  void stop() { running_ = false; }
+
+  /// Forecast CPU availability (fraction of one CPU) for a *new* process.
+  double cpuAvailability(grid::NodeId node) const;
+  /// Forecast share (fraction of one CPU) an *incumbent* process keeps.
+  double incumbentAvailability(grid::NodeId node) const;
+  /// Forecast available bandwidth (bytes/s) on a link.
+  double bandwidth(grid::LinkId link) const;
+  /// Measured latency of a link (assumed stable; sensed once).
+  double latency(grid::LinkId link) const;
+
+  /// Forecast end-to-end transfer time for `bytes` between two nodes using
+  /// current link forecasts (bottleneck model).
+  double transferTime(grid::NodeId src, grid::NodeId dst, double bytes) const;
+  /// Forecast flop rate a newly placed process would obtain on a node.
+  double effectiveRate(grid::NodeId node) const;
+  /// Forecast flop rate an already-running process keeps on a node.
+  double incumbentRate(grid::NodeId node) const;
+
+  std::size_t samplesTaken() const { return samples_; }
+  const ForecasterBattery& cpuSeries(grid::NodeId node) const;
+
+ private:
+  void sampleAll();
+
+  sim::Engine* engine_;
+  grid::Grid* grid_;
+  double period_;
+  double noise_;
+  Rng rng_;
+  bool running_ = false;
+  std::size_t samples_ = 0;
+  std::map<grid::NodeId, ForecasterBattery> cpu_;
+  std::map<grid::NodeId, ForecasterBattery> incumbent_;
+  std::map<grid::LinkId, ForecasterBattery> bw_;
+};
+
+}  // namespace grads::services

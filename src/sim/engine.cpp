@@ -1,0 +1,154 @@
+#include "sim/engine.hpp"
+
+#include "sim/task.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::sim {
+
+struct Engine::RootProcess {
+  Task::Handle handle;
+  std::string name;
+  Engine* engine = nullptr;
+  bool finished = false;
+
+  static void onDone(void* ctx, std::exception_ptr error) {
+    auto* self = static_cast<RootProcess*>(ctx);
+    self->finished = true;
+    if (error) {
+      self->engine->failures_.push_back(error);
+      GRADS_ERROR("sim") << "process '" << self->name
+                         << "' terminated with an exception";
+    }
+  }
+
+  ~RootProcess() {
+    if (handle) handle.destroy();
+  }
+};
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  // Destroy remaining root frames before the queue (queued resumes may point
+  // into frames; they are never invoked after destruction).
+  roots_.clear();
+}
+
+void Engine::EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool Engine::EventHandle::pending() const {
+  return cancelled_ && !*cancelled_;
+}
+
+Engine::EventHandle Engine::schedule(Time delay, std::function<void()> fn) {
+  GRADS_REQUIRE(delay >= 0.0, "Engine::schedule: negative delay");
+  return scheduleItem(now_ + delay, std::move(fn), /*daemon=*/false);
+}
+
+Engine::EventHandle Engine::scheduleAt(Time t, std::function<void()> fn) {
+  return scheduleItem(t, std::move(fn), /*daemon=*/false);
+}
+
+Engine::EventHandle Engine::scheduleDaemon(Time delay,
+                                           std::function<void()> fn) {
+  GRADS_REQUIRE(delay >= 0.0, "Engine::scheduleDaemon: negative delay");
+  return scheduleItem(now_ + delay, std::move(fn), /*daemon=*/true);
+}
+
+Engine::EventHandle Engine::scheduleDaemonAt(Time t, std::function<void()> fn) {
+  return scheduleItem(t, std::move(fn), /*daemon=*/true);
+}
+
+Engine::EventHandle Engine::scheduleItem(Time t, std::function<void()> fn,
+                                         bool daemon) {
+  GRADS_REQUIRE(t >= now_, "Engine::scheduleAt: time in the past");
+  GRADS_REQUIRE(t < kInfTime, "Engine::scheduleAt: infinite time");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Item{t, seq_++, std::move(fn), cancelled, daemon});
+  if (!daemon) ++nonDaemonPending_;
+  return EventHandle{std::move(cancelled)};
+}
+
+Engine::EventHandle Engine::scheduleResume(Time delay,
+                                           std::coroutine_handle<> h) {
+  return schedule(delay, [h] { h.resume(); });
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!queue_.empty() && nonDaemonPending_ > 0 && !stopped_) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    if (!item.daemon) --nonDaemonPending_;
+    if (*item.cancelled) continue;
+    GRADS_ASSERT(item.t >= now_, "event queue time went backwards");
+    now_ = item.t;
+    *item.cancelled = true;  // fired events are no longer pending
+    ++processed_;
+    item.fn();
+  }
+  reapFinished();
+  rethrowIfFailed();
+}
+
+void Engine::runUntil(Time t) {
+  GRADS_REQUIRE(t >= now_, "Engine::runUntil: time in the past");
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().t <= t) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    if (!item.daemon) --nonDaemonPending_;
+    if (*item.cancelled) continue;
+    now_ = item.t;
+    *item.cancelled = true;
+    ++processed_;
+    item.fn();
+  }
+  if (!stopped_) now_ = t;
+  reapFinished();
+  rethrowIfFailed();
+}
+
+std::size_t Engine::pendingEvents() const { return queue_.size(); }
+
+void Engine::spawn(Task task, std::string name) {
+  GRADS_REQUIRE(task.valid(), "Engine::spawn: invalid task");
+  auto root = std::make_unique<RootProcess>();
+  root->handle = task.release();
+  root->name = std::move(name);
+  root->engine = this;
+  auto& promise = root->handle.promise();
+  promise.detachedDone = &RootProcess::onDone;
+  promise.detachedCtx = root.get();
+  // First resume happens as an ordinary event so spawn order == start order.
+  auto h = root->handle;
+  schedule(0.0, [h] { h.resume(); });
+  roots_.push_back(std::move(root));
+}
+
+std::size_t Engine::liveProcesses() const {
+  std::size_t n = 0;
+  for (const auto& r : roots_) {
+    if (!r->finished) ++n;
+  }
+  return n;
+}
+
+void Engine::reapFinished() {
+  std::erase_if(roots_, [](const std::unique_ptr<RootProcess>& r) {
+    return r->finished;
+  });
+}
+
+void Engine::rethrowIfFailed() {
+  if (!failures_.empty()) {
+    auto e = failures_.front();
+    failures_.clear();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace grads::sim

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace grads::sim {
+
+class Task;
+
+/// Discrete-event simulation engine.
+///
+/// Events are (time, sequence) ordered callbacks; sequence numbers make the
+/// execution order of same-time events deterministic (FIFO), which is what
+/// makes MicroGrid-style experiments exactly repeatable.
+///
+/// Coroutine processes (sim::Task) are spawned onto the engine and interact
+/// with virtual time through awaitables (sleep, Event, Channel, PsResource).
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Cancellable handle to a scheduled event.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    /// Cancels the event if it has not fired yet; safe to call repeatedly.
+    void cancel();
+    /// True if the event is still pending (not fired, not cancelled).
+    bool pending() const;
+
+   private:
+    friend class Engine;
+    explicit EventHandle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule(Time delay, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (t >= now()).
+  EventHandle scheduleAt(Time t, std::function<void()> fn);
+
+  /// Daemon events do not keep the run loop alive: run() returns once only
+  /// daemon events remain. Periodic services (NWS sampling, swap-policy
+  /// ticks, background-load traces) use these so simulations end when the
+  /// real work ends.
+  EventHandle scheduleDaemon(Time delay, std::function<void()> fn);
+  EventHandle scheduleDaemonAt(Time t, std::function<void()> fn);
+
+  /// Schedules a coroutine resume; used by awaitables.
+  EventHandle scheduleResume(Time delay, std::coroutine_handle<> h);
+
+  /// Runs until the event queue is empty (or stop() is called).
+  void run();
+  /// Processes all events with time <= t, then sets now() = t.
+  void runUntil(Time t);
+  /// Stops the run loop after the current event.
+  void stop() { stopped_ = true; }
+
+  std::size_t processedEvents() const { return processed_; }
+  std::size_t pendingEvents() const;
+
+  /// Spawns a detached coroutine process; the engine owns it. The first
+  /// resume happens as a normal event at the current time.
+  void spawn(Task task, std::string name = "");
+
+  /// Number of spawned root processes that have not yet completed.
+  std::size_t liveProcesses() const;
+
+  /// If a detached process terminated with an exception, rethrows the first
+  /// one recorded. Called automatically at the end of run().
+  void rethrowIfFailed();
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    bool daemon = false;
+  };
+  struct ItemCompare {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void reapFinished();
+
+  EventHandle scheduleItem(Time t, std::function<void()> fn, bool daemon);
+
+  Time now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t nonDaemonPending_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+
+  struct RootProcess;
+  std::vector<std::unique_ptr<RootProcess>> roots_;
+  std::vector<std::exception_ptr> failures_;
+
+  friend class Task;
+};
+
+/// Awaitable returned by sleepFor(); resumes the coroutine after `delay`.
+struct SleepAwaiter {
+  Engine& engine;
+  Time delay;
+  bool await_ready() const noexcept { return delay <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    engine.scheduleResume(delay, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// `co_await sleepFor(engine, dt)` — suspend for dt simulated seconds.
+inline SleepAwaiter sleepFor(Engine& engine, Time delay) {
+  return SleepAwaiter{engine, delay};
+}
+
+}  // namespace grads::sim

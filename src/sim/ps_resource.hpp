@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace grads::sim {
+
+/// Processor-sharing resource with time-varying capacity.
+///
+/// This single abstraction models both CPUs and network links:
+///  - a CPU is a PsResource with capacity = cores × flops/core and
+///    maxRatePerUnit = flops/core (one process cannot use two cores);
+///  - a link is a PsResource with capacity = bandwidth (bytes/s) and
+///    unbounded per-flow rate (flows share fairly).
+///
+/// Finite jobs (compute bursts, transfers) are submitted with consume(work)
+/// and complete when the integral of their share of capacity reaches `work`.
+/// External/background load is modelled as *infinite* jobs (addLoad): they
+/// never finish but take their fair share, which is exactly how the paper's
+/// "artificial load" (competing processes on a node) behaves.
+///
+/// Shares are weighted: a job of weight w gets
+///     rate = w * min(maxRatePerUnit, capacity / totalWeight).
+class PsResource {
+ public:
+  using LoadId = std::uint64_t;
+
+  PsResource(Engine& engine, double capacity,
+             double maxRatePerUnit = kInfTime, std::string name = "");
+  ~PsResource();
+  PsResource(const PsResource&) = delete;
+  PsResource& operator=(const PsResource&) = delete;
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+  Engine& engine() const { return *engine_; }
+
+  /// Changes nominal capacity (e.g. NWS-visible bandwidth fluctuation).
+  void setCapacity(double capacity);
+
+  /// Adds a perpetual competing job of the given weight; returns its id.
+  LoadId addLoad(double weight = 1.0);
+  /// Removes a competing job previously added with addLoad().
+  void removeLoad(LoadId id);
+  /// Total weight of infinite (background-load) jobs.
+  double backgroundWeight() const;
+
+  /// Number of active finite jobs.
+  std::size_t activeJobs() const;
+  /// Total weight across all jobs (finite + infinite).
+  double totalWeight() const;
+  /// Instantaneous rate a new weight-1 job would receive right now.
+  double ratePerUnit() const;
+
+  /// Consumes `work` units (flops / bytes); completes when done.
+  /// Cooperative: cannot be aborted once started (callers poll between
+  /// bursts, matching the paper's user-level checkpoint/swap points).
+  Task consume(double work, double weight = 1.0);
+
+  /// Total finite work completed since construction (for sensors/tests).
+  double completedWork() const { return completedWork_; }
+
+ private:
+  struct Job {
+    double remaining;
+    double work;
+    double weight;
+    bool infinite;
+    LoadId id;
+    std::unique_ptr<Event> done;  // null for infinite jobs
+  };
+
+  void advance();
+  void replan();
+  double ratePerUnitLocked() const;
+
+  Engine* engine_;
+  double capacity_;
+  double maxRatePerUnit_;
+  std::string name_;
+  std::list<Job> jobs_;
+  Time lastUpdate_ = 0.0;
+  Engine::EventHandle pendingFinish_;
+  LoadId nextId_ = 1;
+  double completedWork_ = 0.0;
+};
+
+}  // namespace grads::sim

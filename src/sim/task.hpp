@@ -1,0 +1,99 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace grads::sim {
+
+/// A lazily-started coroutine representing a simulated process or sub-step.
+///
+/// Lifetime rules:
+///  - Awaiting a Task (`co_await child()`) starts it and suspends the parent
+///    until it completes; the parent's Task object owns the frame (RAII).
+///  - `Engine::spawn(std::move(task))` detaches it as a root process; the
+///    engine takes ownership and records any escaped exception.
+///
+/// Tasks return void; simulated processes communicate results through
+/// Channels, Events, or shared state — mirroring the message-passing model.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  using DetachedDoneFn = void (*)(void* ctx, std::exception_ptr error);
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+    bool completed = false;
+    DetachedDoneFn detachedDone = nullptr;
+    void* detachedCtx = nullptr;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto& p = h.promise();
+        p.completed = true;
+        if (p.continuation) return p.continuation;
+        if (p.detachedDone != nullptr) p.detachedDone(p.detachedCtx, p.error);
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool completed() const { return h_ && h_.promise().completed; }
+
+  /// Transfers frame ownership to the caller (used by Engine::spawn).
+  Handle release() { return std::exchange(h_, {}); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  /// when the task completes; rethrows any exception from the task body.
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.promise().completed; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() const {
+        if (h && h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  Handle h_;
+};
+
+}  // namespace grads::sim

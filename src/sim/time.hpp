@@ -1,0 +1,12 @@
+#pragma once
+
+#include <limits>
+
+namespace grads::sim {
+
+/// Virtual (simulated) time, in seconds.
+using Time = double;
+
+inline constexpr Time kInfTime = std::numeric_limits<Time>::infinity();
+
+}  // namespace grads::sim

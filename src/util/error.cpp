@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace grads::detail {
+
+[[noreturn]] void throwCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw InvalidArgument(os.str());
+  throw InternalError(os.str());
+}
+
+}  // namespace grads::detail

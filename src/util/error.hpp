@@ -1,0 +1,50 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace grads {
+
+/// Base class for all errors raised by the GrADS library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a precondition on a public API is violated.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant does not hold (a library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace grads
+
+/// Precondition check on public API arguments; throws grads::InvalidArgument.
+#define GRADS_REQUIRE(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::grads::detail::throwCheckFailure("precondition", #expr, __FILE__,   \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check; throws grads::InternalError.
+#define GRADS_ASSERT(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::grads::detail::throwCheckFailure("invariant", #expr, __FILE__,      \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,53 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace grads::log {
+
+Config& config() {
+  static Config cfg;
+  return cfg;
+}
+
+bool enabled(Level level) { return level >= config().level; }
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Level parseLevel(const std::string& name) {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
+void write(Level level, const std::string& component, const std::string& msg) {
+  if (!enabled(level)) return;
+  auto& cfg = config();
+  std::ostream& out = cfg.sink != nullptr ? *cfg.sink : std::cerr;
+  char stamp[32];
+  if (cfg.clock) {
+    std::snprintf(stamp, sizeof stamp, "%12.4f", cfg.clock());
+  } else {
+    std::snprintf(stamp, sizeof stamp, "%12s", "-");
+  }
+  out << '[' << stamp << "] " << levelName(level) << ' ' << component << ": "
+      << msg << '\n';
+}
+
+}  // namespace grads::log

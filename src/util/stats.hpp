@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace grads::stats {
+
+/// Streaming mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  bool empty() const { return n_ == 0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double median(std::span<const double> xs);
+/// Quantile with linear interpolation, q in [0,1].
+double quantile(std::span<const double> xs, double q);
+
+/// Result of an ordinary-least-squares polynomial fit.
+struct PolyFit {
+  std::vector<double> coeffs;  ///< coeffs[k] multiplies x^k
+  double rss = 0.0;            ///< residual sum of squares
+  double r2 = 0.0;             ///< coefficient of determination
+
+  double eval(double x) const;
+};
+
+/// Fits y ≈ sum_k c_k x^k with degree `degree` by least squares.
+/// Used by the performance modeler to fit flop counts against problem size
+/// (paper §3.2: "least squares curve-fitting on the collected data").
+PolyFit polyFit(std::span<const double> xs, std::span<const double> ys,
+                int degree);
+
+/// Fits y ≈ a * x^b (power law) by log-log least squares; returns {a, b}.
+/// Used for memory-reuse-distance scaling models.
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double eval(double x) const;
+};
+PowerFit powerFit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace grads::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "util/rng.hpp"
+#include "workflow/scheduler.hpp"
+
+namespace grads::workflow {
+
+/// Simulated-annealing workflow mapper, after the GrADS metascheduling work
+/// of YarKhan & Dongarra ("Experiments with Scheduling Using Simulated
+/// Annealing in a Grid Environment"; the paper's scheduler lineage [20]).
+/// Where the batch heuristics build a schedule greedily from the rank
+/// matrix, annealing searches the full mapping space: start from the
+/// min-min schedule, perturb one component's placement at a time, accept
+/// uphill moves with Metropolis probability under a geometric cooling
+/// schedule.
+struct AnnealingOptions {
+  int iterations = 4000;
+  /// Initial temperature as a fraction of the starting makespan.
+  double initialTempFraction = 0.2;
+  double coolingRate = 0.998;
+  std::uint64_t seed = 1;
+  /// Restart from the best-so-far state when stuck this many rejections.
+  int restartAfterRejections = 400;
+};
+
+struct AnnealingStats {
+  double initialMakespan = 0.0;
+  double finalMakespan = 0.0;
+  int accepted = 0;
+  int uphillAccepted = 0;
+};
+
+/// Returns a schedule at least as good as min-min on the same estimator
+/// (annealing never returns a state worse than its greedy seed).
+Schedule scheduleSimulatedAnnealing(const Dag& dag, const Estimator& estimator,
+                                    const std::vector<grid::NodeId>& resources,
+                                    AnnealingOptions options = {},
+                                    AnnealingStats* stats = nullptr);
+
+}  // namespace grads::workflow

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "util/rng.hpp"
+#include "workflow/dag.hpp"
+
+namespace grads::workflow {
+
+/// Synthetic DAG shapes for tests and the heuristic-comparison benches.
+
+/// Linear chain of `length` equal components.
+Dag makeChain(std::size_t length, double flopsEach, double bytesBetween);
+
+/// One source fanning out to `width` independent components, then joining.
+Dag makeFanOutIn(std::size_t width, double flopsEach, double bytes);
+
+/// LIGO-pulsar-search-like shape ([1], cited §3): a preprocessing stage, a
+/// wide bank of heterogeneous template searches, and a final coincidence
+/// stage.
+Dag makeLigoLike(std::size_t templates, Rng& rng);
+
+/// Independent-task bag (parameter sweep, the workloads of [3]).
+Dag makeParameterSweep(std::size_t tasks, Rng& rng);
+
+/// Random layered DAG with controllable shape (for property sweeps).
+Dag makeRandomLayered(std::size_t layers, std::size_t width, Rng& rng);
+
+}  // namespace grads::workflow

@@ -1,0 +1,176 @@
+#include "workflow/executor.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::workflow {
+
+struct WorkflowExecutor::RunState {
+  RunState(sim::Engine& engine, std::size_t n) {
+    done.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      done.push_back(std::make_unique<sim::Event>(engine));
+    }
+    runs.resize(n);
+  }
+
+  ExecutionOptions options;
+  std::vector<grid::NodeId> placement;          // current target per component
+  std::vector<grid::NodeId> initialPlacement;
+  std::vector<std::unique_ptr<sim::Event>> done;
+  std::vector<bool> started;
+  std::vector<ComponentRun> runs;
+  int rescheduleRounds = 0;
+  bool finished = false;
+};
+
+WorkflowExecutor::WorkflowExecutor(grid::Grid& grid, const services::Gis& gis,
+                                   const services::Nws* nws,
+                                   autopilot::AutopilotManager* autopilot)
+    : grid_(&grid), gis_(&gis), nws_(nws), autopilot_(autopilot) {}
+
+sim::Task WorkflowExecutor::runComponent(const Dag& dag, ComponentId c,
+                                         RunState& state) {
+  // Wait for every predecessor.
+  for (const auto p : dag.predecessors(c)) {
+    co_await state.done[p]->wait();
+  }
+  ComponentRun& run = state.runs[c];
+  run.component = c;
+  run.ready = grid_->engine().now();
+
+  // Placement is pinned the moment the component starts.
+  state.started[c] = true;
+  const grid::NodeId node = state.placement[c];
+  run.node = node;
+  run.remapped = node != state.initialPlacement[c];
+  run.start = run.ready;
+
+  // Pull inputs from wherever the predecessors actually ran.
+  for (const auto& e : dag.inEdges(c)) {
+    const grid::NodeId from = state.runs[e.from].node;
+    if (from != node && e.bytes > 0.0) {
+      co_await grid_->transfer(from, node, e.bytes);
+    }
+  }
+
+  // Compute on the node's shared CPU (background load slows us naturally).
+  const Component& comp = dag.component(c);
+  const double flops =
+      comp.model != nullptr ? comp.model->predictFlops(comp.modelSize)
+                            : comp.flops;
+  co_await grid_->node(node).compute(flops);
+
+  run.finish = grid_->engine().now();
+  if (autopilot_ != nullptr && !state.options.sensorChannel.empty()) {
+    autopilot_->report(state.options.sensorChannel, run.finish - run.start);
+  }
+  state.done[c]->set();
+}
+
+void WorkflowExecutor::rescheduleUnstarted(const Dag& dag, RunState& state) {
+  // Build a residual DAG view: components already started keep their
+  // placement (passed to rank() as fixed predecessors); the rest are
+  // remapped with fresh NWS information.
+  ++state.rescheduleRounds;
+  GridEstimator estimator(*gis_, nws_);
+  WorkflowScheduler scheduler(estimator, gis_->availableNodes(),
+                              state.options.weights);
+
+  Schedule fresh;
+  try {
+    fresh = scheduler.schedule(dag, state.options.heuristic);
+  } catch (const Error&) {
+    return;  // e.g. no feasible resources right now — keep current placement
+  }
+
+  // Estimate both placements under the current estimator; adopt the new one
+  // only if it wins by the configured margin.
+  std::vector<Assignment> current;
+  for (ComponentId c = 0; c < dag.size(); ++c) {
+    Assignment a;
+    a.component = c;
+    a.node = state.placement[c];
+    current.push_back(a);
+  }
+  double curCost = 0.0;
+  try {
+    curCost = evaluateMapping(dag, estimator, current).makespan;
+  } catch (const Error&) {
+    curCost = std::numeric_limits<double>::infinity();  // placement went stale
+  }
+  const double newCost = evaluateMapping(dag, estimator, fresh.assignments)
+                             .makespan;
+  if (newCost * state.options.improveMargin >= curCost) return;
+
+  int changed = 0;
+  for (const auto& a : fresh.assignments) {
+    if (!state.started[a.component] &&
+        state.placement[a.component] != a.node) {
+      state.placement[a.component] = a.node;
+      ++changed;
+    }
+  }
+  if (changed > 0) {
+    GRADS_INFO("wf-exec") << "rescheduled " << changed
+                          << " pending components (est. " << curCost << " -> "
+                          << newCost << " s)";
+  }
+}
+
+sim::Task WorkflowExecutor::execute(const Dag& dag, ExecutionOptions options,
+                                    ExecutionResult* result) {
+  GRADS_REQUIRE(dag.size() > 0, "WorkflowExecutor: empty DAG");
+  sim::Engine& eng = grid_->engine();
+  const double t0 = eng.now();
+
+  RunState state(eng, dag.size());
+  state.options = options;
+  state.started.assign(dag.size(), false);
+
+  // Initial schedule from current NWS information.
+  GridEstimator estimator(*gis_, nws_);
+  WorkflowScheduler scheduler(estimator, gis_->availableNodes(),
+                              options.weights);
+  const Schedule initial = scheduler.schedule(dag, options.heuristic);
+  state.placement.assign(dag.size(), grid::kNoId);
+  for (const auto& a : initial.assignments) {
+    state.placement[a.component] = a.node;
+  }
+  state.initialPlacement = state.placement;
+
+  // Optional rescheduling loop (daemon: dies with the run).
+  if (options.reschedule) {
+    auto tick = std::make_shared<std::function<void()>>();
+    auto* statePtr = &state;
+    const Dag* dagPtr = &dag;
+    *tick = [this, statePtr, dagPtr, tick, &eng, options] {
+      if (statePtr->finished) return;
+      rescheduleUnstarted(*dagPtr, *statePtr);
+      eng.scheduleDaemon(options.rescheduleCheckSec, *tick);
+    };
+    eng.scheduleDaemon(options.rescheduleCheckSec, *tick);
+  }
+
+  sim::JoinSet components(eng);
+  for (ComponentId c = 0; c < dag.size(); ++c) {
+    components.spawn(runComponent(dag, c, state));
+  }
+  co_await components.join();
+  state.finished = true;
+
+  if (result != nullptr) {
+    result->runs = std::move(state.runs);
+    result->makespan = eng.now() - t0;
+    result->staticEstimate = initial.makespan;
+    result->rescheduleRounds = state.rescheduleRounds;
+    result->remappedComponents = 0;
+    for (const auto& r : result->runs) {
+      if (r.remapped) ++result->remappedComponents;
+    }
+  }
+}
+
+}  // namespace grads::workflow

@@ -1,0 +1,72 @@
+#pragma once
+
+#include "autopilot/sensor.hpp"
+#include "services/gis.hpp"
+#include "services/nws.hpp"
+#include "sim/sync.hpp"
+#include "workflow/scheduler.hpp"
+
+namespace grads::workflow {
+
+/// Options for executing a scheduled workflow on the (simulated) Grid.
+struct ExecutionOptions {
+  Heuristic heuristic = Heuristic::kBestOfThree;
+  RankWeights weights{};
+  /// Workflow-level rescheduling — the marriage of the paper's two threads
+  /// (§5 future work, realized in VGrADS): periodically re-run the
+  /// scheduler for components that have not started yet, using fresh NWS
+  /// information, and adopt the new placements.
+  bool reschedule = false;
+  double rescheduleCheckSec = 30.0;
+  /// Only adopt a remap when the re-estimated makespan improves by this
+  /// factor (guards against churn on NWS noise).
+  double improveMargin = 1.05;
+  /// Autopilot channel for per-component completion sensors ("" = off).
+  std::string sensorChannel;
+};
+
+struct ComponentRun {
+  ComponentId component = 0;
+  grid::NodeId node = grid::kNoId;
+  double ready = 0.0;   ///< all predecessors done
+  double start = 0.0;   ///< input transfers began
+  double finish = 0.0;
+  bool remapped = false;  ///< placed differently from the initial schedule
+};
+
+struct ExecutionResult {
+  std::vector<ComponentRun> runs;  ///< indexed by component id
+  double makespan = 0.0;
+  double staticEstimate = 0.0;  ///< the initial schedule's predicted makespan
+  int remappedComponents = 0;
+  int rescheduleRounds = 0;
+};
+
+/// Executes a workflow DAG on the grid: components run as simulated
+/// computations on their scheduled nodes (sharing CPUs with whatever else is
+/// there — background load included), data moves over the real simulated
+/// links, and (optionally) a rescheduling loop retargets not-yet-started
+/// components when resource conditions drift.
+class WorkflowExecutor {
+ public:
+  WorkflowExecutor(grid::Grid& grid, const services::Gis& gis,
+                   const services::Nws* nws,
+                   autopilot::AutopilotManager* autopilot = nullptr);
+
+  /// Runs the whole workflow; resolves when the last component finishes.
+  sim::Task execute(const Dag& dag, ExecutionOptions options,
+                    ExecutionResult* result);
+
+ private:
+  struct RunState;
+
+  sim::Task runComponent(const Dag& dag, ComponentId c, RunState& state);
+  void rescheduleUnstarted(const Dag& dag, RunState& state);
+
+  grid::Grid* grid_;
+  const services::Gis* gis_;
+  const services::Nws* nws_;
+  autopilot::AutopilotManager* autopilot_;
+};
+
+}  // namespace grads::workflow

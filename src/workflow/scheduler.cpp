@@ -1,0 +1,323 @@
+#include "workflow/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace grads::workflow {
+
+const char* heuristicName(Heuristic h) {
+  switch (h) {
+    case Heuristic::kMinMin: return "min-min";
+    case Heuristic::kMaxMin: return "max-min";
+    case Heuristic::kSufferage: return "sufferage";
+    case Heuristic::kBestOfThree: return "best-of-3";
+  }
+  return "?";
+}
+
+const Assignment& Schedule::of(ComponentId c) const {
+  for (const auto& a : assignments) {
+    if (a.component == c) return a;
+  }
+  throw InvalidArgument("Schedule::of: component not scheduled");
+}
+
+WorkflowScheduler::WorkflowScheduler(const Estimator& estimator,
+                                     std::vector<grid::NodeId> resources,
+                                     RankWeights weights)
+    : estimator_(&estimator),
+      resources_(std::move(resources)),
+      weights_(weights) {
+  GRADS_REQUIRE(!resources_.empty(), "WorkflowScheduler: no resources");
+  GRADS_REQUIRE(weights_.w1 >= 0.0 && weights_.w2 >= 0.0,
+                "WorkflowScheduler: negative weights");
+}
+
+double WorkflowScheduler::rank(
+    const Dag& dag, ComponentId c, grid::NodeId node,
+    const std::map<ComponentId, grid::NodeId>& placed) const {
+  const double e = estimator_->ecost(dag.component(c), node);
+  if (e == kInfeasible) return kInfeasible;
+  double d = 0.0;
+  for (const auto& edge : dag.inEdges(c)) {
+    const auto it = placed.find(edge.from);
+    GRADS_ASSERT(it != placed.end(), "rank: predecessor not yet placed");
+    d += estimator_->transferCost(it->second, node, edge.bytes);
+  }
+  return weights_.w1 * e + weights_.w2 * d;
+}
+
+namespace {
+struct Candidate {
+  ComponentId c = 0;
+  std::size_t bestR = 0;      // index into resources
+  double bestCt = kInfeasible;
+  double secondCt = kInfeasible;
+};
+}  // namespace
+
+Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
+  Schedule sched;
+  sched.heuristic = h;
+
+  std::vector<std::size_t> indegree(dag.size(), 0);
+  for (const auto& e : dag.edges()) ++indegree[e.to];
+
+  std::vector<ComponentId> ready;
+  for (ComponentId c = 0; c < dag.size(); ++c) {
+    if (indegree[c] == 0) ready.push_back(c);
+  }
+
+  std::vector<double> avail(resources_.size(), 0.0);
+  std::map<ComponentId, grid::NodeId> placed;
+  std::vector<double> finish(dag.size(), 0.0);
+  std::size_t scheduled = 0;
+
+  while (scheduled < dag.size()) {
+    GRADS_REQUIRE(!ready.empty(), "WorkflowScheduler: cyclic dependences");
+    std::vector<ComponentId> batch = std::move(ready);
+    ready.clear();
+
+    while (!batch.empty()) {
+      // Build the performance-matrix row (rank-based completion times) for
+      // every unscheduled component in the batch.
+      std::vector<Candidate> cands;
+      cands.reserve(batch.size());
+      for (const ComponentId c : batch) {
+        double readyAt = 0.0;
+        for (const auto p : dag.predecessors(c)) {
+          readyAt = std::max(readyAt, finish[p]);
+        }
+        Candidate cand;
+        cand.c = c;
+        for (std::size_t r = 0; r < resources_.size(); ++r) {
+          const double rk = rank(dag, c, resources_[r], placed);
+          if (rk == kInfeasible) continue;
+          const double ct = std::max(avail[r], readyAt) + rk;
+          if (ct < cand.bestCt) {
+            cand.secondCt = cand.bestCt;
+            cand.bestCt = ct;
+            cand.bestR = r;
+          } else if (ct < cand.secondCt) {
+            cand.secondCt = ct;
+          }
+        }
+        GRADS_REQUIRE(cand.bestCt != kInfeasible,
+                      "WorkflowScheduler: no feasible resource for " +
+                          dag.component(c).name);
+        cands.push_back(cand);
+      }
+
+      // Select per heuristic.
+      std::size_t pick = 0;
+      switch (h) {
+        case Heuristic::kMinMin:
+          for (std::size_t i = 1; i < cands.size(); ++i) {
+            if (cands[i].bestCt < cands[pick].bestCt) pick = i;
+          }
+          break;
+        case Heuristic::kMaxMin:
+          for (std::size_t i = 1; i < cands.size(); ++i) {
+            if (cands[i].bestCt > cands[pick].bestCt) pick = i;
+          }
+          break;
+        case Heuristic::kSufferage: {
+          auto sufferage = [](const Candidate& x) {
+            return x.secondCt == kInfeasible ? kInfeasible
+                                             : x.secondCt - x.bestCt;
+          };
+          for (std::size_t i = 1; i < cands.size(); ++i) {
+            if (sufferage(cands[i]) > sufferage(cands[pick])) pick = i;
+          }
+          break;
+        }
+        case Heuristic::kBestOfThree:
+          GRADS_ASSERT(false, "kBestOfThree handled by schedule()");
+      }
+
+      const Candidate& chosen = cands[pick];
+      const ComponentId c = chosen.c;
+      const grid::NodeId node = resources_[chosen.bestR];
+
+      // Record with unweighted cost estimates (ranks steer, costs account).
+      double readyAt = 0.0;
+      for (const auto p : dag.predecessors(c)) {
+        readyAt = std::max(readyAt, finish[p]);
+      }
+      double cost = estimator_->ecost(dag.component(c), node);
+      for (const auto& edge : dag.inEdges(c)) {
+        cost += estimator_->transferCost(placed.at(edge.from), node, edge.bytes);
+      }
+      Assignment a;
+      a.component = c;
+      a.node = node;
+      a.start = std::max(avail[chosen.bestR], readyAt);
+      a.finish = a.start + cost;
+      avail[chosen.bestR] = a.finish;
+      finish[c] = a.finish;
+      placed[c] = node;
+      sched.assignments.push_back(a);
+      sched.makespan = std::max(sched.makespan, a.finish);
+      ++scheduled;
+      batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    // Unlock successors whose predecessors are all scheduled.
+    for (ComponentId c = 0; c < dag.size(); ++c) {
+      if (placed.count(c) > 0) continue;
+      bool allDone = true;
+      for (const auto p : dag.predecessors(c)) {
+        if (placed.count(p) == 0) {
+          allDone = false;
+          break;
+        }
+      }
+      if (allDone && std::find(ready.begin(), ready.end(), c) == ready.end()) {
+        ready.push_back(c);
+      }
+    }
+  }
+  return sched;
+}
+
+Schedule WorkflowScheduler::schedule(const Dag& dag, Heuristic h) const {
+  GRADS_REQUIRE(dag.size() > 0, "WorkflowScheduler: empty DAG");
+  if (h != Heuristic::kBestOfThree) return scheduleOne(dag, h);
+  // Paper §3.1: run all three, keep the minimum-makespan schedule.
+  Schedule best;
+  bool first = true;
+  for (const auto hh :
+       {Heuristic::kMinMin, Heuristic::kMaxMin, Heuristic::kSufferage}) {
+    Schedule s = scheduleOne(dag, hh);
+    if (first || s.makespan < best.makespan) {
+      best = std::move(s);
+      first = false;
+    }
+  }
+  return best;
+}
+
+namespace {
+/// Shared skeleton for the baseline schedulers: walk in topological order,
+/// pick a node via `choose(eligible)`, account costs with the estimator.
+template <typename Chooser>
+Schedule scheduleBaseline(const Dag& dag, const Estimator& estimator,
+                          const std::vector<grid::NodeId>& resources,
+                          Chooser choose) {
+  GRADS_REQUIRE(!resources.empty(), "baseline scheduler: no resources");
+  Schedule sched;
+  std::vector<double> avail(resources.size(), 0.0);
+  std::map<ComponentId, grid::NodeId> placed;
+  std::vector<double> finish(dag.size(), 0.0);
+
+  for (const ComponentId c : dag.topologicalOrder()) {
+    std::vector<std::size_t> eligible;
+    for (std::size_t r = 0; r < resources.size(); ++r) {
+      if (estimator.ecost(dag.component(c), resources[r]) != kInfeasible) {
+        eligible.push_back(r);
+      }
+    }
+    GRADS_REQUIRE(!eligible.empty(),
+                  "baseline scheduler: no feasible resource for " +
+                      dag.component(c).name);
+    const std::size_t r = choose(eligible, avail);
+    const grid::NodeId node = resources[r];
+
+    double readyAt = 0.0;
+    for (const auto p : dag.predecessors(c)) {
+      readyAt = std::max(readyAt, finish[p]);
+    }
+    double cost = estimator.ecost(dag.component(c), node);
+    for (const auto& edge : dag.inEdges(c)) {
+      cost += estimator.transferCost(placed.at(edge.from), node, edge.bytes);
+    }
+    Assignment a;
+    a.component = c;
+    a.node = node;
+    a.start = std::max(avail[r], readyAt);
+    a.finish = a.start + cost;
+    avail[r] = a.finish;
+    finish[c] = a.finish;
+    placed[c] = node;
+    sched.assignments.push_back(a);
+    sched.makespan = std::max(sched.makespan, a.finish);
+  }
+  return sched;
+}
+}  // namespace
+
+Schedule scheduleDagmanStyle(const Dag& dag, const Estimator& estimator,
+                             const std::vector<grid::NodeId>& resources) {
+  return scheduleBaseline(
+      dag, estimator, resources,
+      [](const std::vector<std::size_t>& eligible,
+         const std::vector<double>& avail) {
+        // First idle eligible machine, no performance model.
+        std::size_t best = eligible[0];
+        for (const auto r : eligible) {
+          if (avail[r] < avail[best]) best = r;
+        }
+        return best;
+      });
+}
+
+Schedule scheduleRandom(const Dag& dag, const Estimator& estimator,
+                        const std::vector<grid::NodeId>& resources, Rng& rng) {
+  return scheduleBaseline(
+      dag, estimator, resources,
+      [&rng](const std::vector<std::size_t>& eligible,
+             const std::vector<double>&) {
+        return eligible[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(eligible.size()) - 1))];
+      });
+}
+
+Schedule scheduleRoundRobin(const Dag& dag, const Estimator& estimator,
+                            const std::vector<grid::NodeId>& resources) {
+  std::size_t next = 0;
+  return scheduleBaseline(
+      dag, estimator, resources,
+      [&next](const std::vector<std::size_t>& eligible,
+              const std::vector<double>&) {
+        return eligible[next++ % eligible.size()];
+      });
+}
+
+Schedule evaluateMapping(const Dag& dag, const Estimator& truth,
+                         const std::vector<Assignment>& mapping) {
+  std::map<ComponentId, grid::NodeId> nodeOf;
+  for (const auto& a : mapping) nodeOf[a.component] = a.node;
+  GRADS_REQUIRE(nodeOf.size() == dag.size(),
+                "evaluateMapping: mapping does not cover the DAG");
+
+  Schedule out;
+  std::map<grid::NodeId, double> avail;
+  std::vector<double> finish(dag.size(), 0.0);
+  for (const ComponentId c : dag.topologicalOrder()) {
+    const grid::NodeId node = nodeOf.at(c);
+    double readyAt = 0.0;
+    for (const auto p : dag.predecessors(c)) {
+      readyAt = std::max(readyAt, finish[p]);
+    }
+    double cost = truth.ecost(dag.component(c), node);
+    GRADS_REQUIRE(cost != kInfeasible,
+                  "evaluateMapping: infeasible placement for " +
+                      dag.component(c).name);
+    for (const auto& edge : dag.inEdges(c)) {
+      cost += truth.transferCost(nodeOf.at(edge.from), node, edge.bytes);
+    }
+    Assignment a;
+    a.component = c;
+    a.node = node;
+    a.start = std::max(avail[node], readyAt);
+    a.finish = a.start + cost;
+    avail[node] = a.finish;
+    finish[c] = a.finish;
+    out.assignments.push_back(a);
+    out.makespan = std::max(out.makespan, a.finish);
+  }
+  return out;
+}
+
+}  // namespace grads::workflow

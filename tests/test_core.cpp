@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "apps/qr.hpp"
+#include "core/app_manager.hpp"
+#include "core/binder.hpp"
+#include "grid/load.hpp"
+#include "grid/testbeds.hpp"
+#include "services/ibp.hpp"
+#include "util/error.hpp"
+
+namespace grads::core {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  grid::Grid g{eng};
+  grid::QrTestbed tb;
+  std::unique_ptr<services::Gis> gis;
+  std::unique_ptr<services::Nws> nws;
+  std::unique_ptr<services::Ibp> ibp;
+  std::unique_ptr<autopilot::AutopilotManager> autopilot;
+
+  Fixture() {
+    tb = grid::buildQrTestbed(g);
+    gis = std::make_unique<services::Gis>(g);
+    gis->installEverywhere(services::software::kLocalBinder);
+    gis->installEverywhere(services::software::kScalapack);
+    gis->installEverywhere(services::software::kSrsLibrary);
+    gis->installEverywhere(services::software::kAutopilotSensors);
+    nws = std::make_unique<services::Nws>(eng, g, 10.0, 0.0, 2);
+    nws->start();
+    ibp = std::make_unique<services::Ibp>(g);
+    autopilot = std::make_unique<autopilot::AutopilotManager>(eng);
+  }
+};
+
+TEST(Binder, BindsAllDistinctNodesInParallel) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 2000;
+  const auto cop = apps::makeQrCop(f.g, cfg);
+  Binder binder(f.eng, *f.gis);
+  BindReport report;
+  std::vector<grid::NodeId> mapping;
+  for (const auto id : f.tb.utkNodes) {
+    mapping.push_back(id);
+    mapping.push_back(id);
+  }
+  f.eng.spawn(binder.bind(cop, mapping, &report));
+  f.eng.run();
+  EXPECT_EQ(report.nodesBound, 4);  // 8 ranks on 4 distinct nodes
+  // Local binds run in parallel: wall time ≈ one local bind, not four.
+  EXPECT_LT(report.seconds, 12.0);
+  EXPECT_GT(report.seconds, 4.0);
+}
+
+TEST(Binder, MissingLibraryRaisesBindError) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 2000;
+  auto cop = apps::makeQrCop(f.g, cfg);
+  cop.requiredSoftware.push_back("libnowhere");
+  Binder binder(f.eng, *f.gis);
+  f.eng.spawn(binder.bind(cop, {f.tb.utkNodes[0]}, nullptr));
+  EXPECT_THROW(f.eng.run(), BindError);
+}
+
+TEST(Binder, MissingLocalBinderRaises) {
+  Fixture f;
+  services::Gis bare(f.g);  // nothing installed
+  apps::QrConfig cfg;
+  const auto cop = apps::makeQrCop(f.g, cfg);
+  Binder binder(f.eng, bare);
+  f.eng.spawn(binder.bind(cop, {f.tb.utkNodes[0]}, nullptr));
+  EXPECT_THROW(f.eng.run(), BindError);
+}
+
+TEST(Binder, Ia64CompilesSlower) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = grid::buildEmanTestbed(g);
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  Cop cop;
+  cop.name = "x";
+  cop.code = [](LaunchContext&, int) -> sim::Task { co_return; };
+  Binder binder(eng, gis);
+  BindReport ia32;
+  BindReport ia64;
+  const auto ia32Node = g.clusterNodes(tb.macro.clusters[1])[0];
+  const auto ia64Node = g.clusterNodes(tb.ia64)[0];
+  eng.spawn(binder.bind(cop, {ia32Node}, &ia32));
+  eng.run();
+  eng.spawn(binder.bind(cop, {ia64Node}, &ia64));
+  eng.run();
+  EXPECT_GT(ia64.seconds, ia32.seconds);
+}
+
+TEST(Mapper, PicksFasterClusterWhenIdle) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 4000;
+  apps::QrPerfModel model(f.g, cfg);
+  BestClusterMapper mapper(f.g, model);
+  f.eng.runUntil(30.0);
+  const auto mapping = mapper.chooseMapping(f.gis->availableNodes(),
+                                            f.nws.get());
+  ASSERT_EQ(mapping.size(), 8u);  // 4 dual-CPU UTK nodes → 8 ranks
+  EXPECT_EQ(f.g.node(mapping[0]).cluster(), f.tb.utk);
+}
+
+TEST(Mapper, AvoidsLoadedCluster) {
+  Fixture f;
+  // Degrade a UTK node badly; the mapper should pick UIUC instead.
+  f.g.node(f.tb.utkNodes[0]).injectLoad(6.0);
+  f.eng.runUntil(30.0);
+  apps::QrConfig cfg;
+  cfg.n = 4000;
+  apps::QrPerfModel model(f.g, cfg);
+  BestClusterMapper mapper(f.g, model);
+  const auto mapping = mapper.chooseMapping(f.gis->availableNodes(),
+                                            f.nws.get());
+  EXPECT_EQ(f.g.node(mapping[0]).cluster(), f.tb.uiuc);
+}
+
+TEST(AppManager, RunsQrToCompletionWithoutLoad) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 2000;
+  const auto cop = apps::makeQrCop(f.g, cfg);
+  AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+  RunBreakdown bd;
+  f.eng.spawn(mgr.run(cop, nullptr, ManagerOptions{}, &bd));
+  f.eng.run();
+  EXPECT_EQ(bd.incarnations, 1);
+  ASSERT_EQ(bd.appDuration.size(), 1u);
+  EXPECT_GT(bd.appDuration[0], 0.0);
+  EXPECT_DOUBLE_EQ(bd.sumSegment(bd.checkpointWrite), 0.0);
+  EXPECT_DOUBLE_EQ(bd.sumSegment(bd.checkpointRead), 0.0);
+  EXPECT_GT(bd.totalSeconds, bd.appDuration[0]);
+  // Fig-1 pipeline segments are all present.
+  EXPECT_GT(bd.resourceSelection[0], 0.0);
+  EXPECT_GT(bd.perfModeling[0], 0.0);
+  EXPECT_GT(bd.gridOverhead[0], 0.0);
+  EXPECT_GT(bd.appStart[0], 0.0);
+}
+
+TEST(AppManager, ContractPredictionsMatchActualUnloadedRun) {
+  // Without load, phase times must stay within the contract tolerances —
+  // no violations, no migrations.
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 3000;
+  const auto cop = apps::makeQrCop(f.g, cfg);
+  reschedule::StopRestartRescheduler rescheduler(
+      *f.gis, f.nws.get(), reschedule::ReschedulerOptions{});
+  AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+  RunBreakdown bd;
+  f.eng.spawn(mgr.run(cop, &rescheduler, ManagerOptions{}, &bd));
+  f.eng.run();
+  EXPECT_EQ(bd.incarnations, 1);
+  EXPECT_TRUE(rescheduler.decisions().empty());
+}
+
+TEST(AppManager, MigratesUnderLoadAndCompletes) {
+  // End-to-end §4.1 scenario at small scale: load → violation → stop →
+  // checkpoint → restart on the other cluster → finish.
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  const auto cop = apps::makeQrCop(f.g, cfg);
+  grid::applyLoadTrace(f.eng, f.g.node(f.tb.utkNodes[0]),
+                       grid::LoadTrace::stepAt(60.0, 4.0));
+  reschedule::ReschedulerOptions ropts;
+  ropts.mode = reschedule::ReschedulerMode::kForcedMigrate;
+  reschedule::StopRestartRescheduler rescheduler(*f.gis, f.nws.get(), ropts);
+  AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+  RunBreakdown bd;
+  f.eng.spawn(mgr.run(cop, &rescheduler, ManagerOptions{}, &bd));
+  f.eng.run();
+  EXPECT_EQ(bd.incarnations, 2);
+  ASSERT_EQ(bd.mappings.size(), 2u);
+  EXPECT_EQ(f.g.node(bd.mappings[0][0]).cluster(), f.tb.utk);
+  EXPECT_EQ(f.g.node(bd.mappings[1][0]).cluster(), f.tb.uiuc);
+  // Checkpoint write cheap, read (across the WAN) expensive.
+  EXPECT_GT(bd.sumSegment(bd.checkpointRead),
+            10.0 * bd.sumSegment(bd.checkpointWrite));
+}
+
+TEST(AppManager, ForcedStayNeverMigrates) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  const auto cop = apps::makeQrCop(f.g, cfg);
+  grid::applyLoadTrace(f.eng, f.g.node(f.tb.utkNodes[0]),
+                       grid::LoadTrace::stepAt(60.0, 4.0));
+  reschedule::ReschedulerOptions ropts;
+  ropts.mode = reschedule::ReschedulerMode::kForcedStay;
+  reschedule::StopRestartRescheduler rescheduler(*f.gis, f.nws.get(), ropts);
+  AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+  RunBreakdown bd;
+  f.eng.spawn(mgr.run(cop, &rescheduler, ManagerOptions{}, &bd));
+  f.eng.run();
+  EXPECT_EQ(bd.incarnations, 1);
+  EXPECT_GE(rescheduler.decisions().size(), 1u);  // violations were raised
+}
+
+TEST(AppManager, MigratedRunBeatsStayUnderHeavyLoad) {
+  // The whole point of rescheduling: under heavy sustained load, the
+  // migrated run finishes sooner.
+  auto runWith = [](reschedule::ReschedulerMode mode) {
+    Fixture f;
+    apps::QrConfig cfg;
+    cfg.n = 7000;
+    const auto cop = apps::makeQrCop(f.g, cfg);
+    grid::applyLoadTrace(f.eng, f.g.node(f.tb.utkNodes[0]),
+                         grid::LoadTrace::stepAt(60.0, 6.0));
+    reschedule::ReschedulerOptions ropts;
+    ropts.mode = mode;
+    reschedule::StopRestartRescheduler rescheduler(*f.gis, f.nws.get(), ropts);
+    AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+    RunBreakdown bd;
+    f.eng.spawn(mgr.run(cop, &rescheduler, ManagerOptions{}, &bd));
+    f.eng.run();
+    return bd.totalSeconds;
+  };
+  const double stay = runWith(reschedule::ReschedulerMode::kForcedStay);
+  const double migrate = runWith(reschedule::ReschedulerMode::kForcedMigrate);
+  EXPECT_LT(migrate, stay);
+}
+
+TEST(AppManager, RejectsIncompleteCop) {
+  Fixture f;
+  Cop broken;
+  broken.name = "broken";
+  AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+  f.eng.spawn(mgr.run(broken, nullptr, ManagerOptions{}, nullptr));
+  EXPECT_THROW(f.eng.run(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace grads::core

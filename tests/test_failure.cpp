@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "apps/qr.hpp"
+#include "core/app_manager.hpp"
+#include "grid/testbeds.hpp"
+#include "reschedule/failure.hpp"
+#include "services/ibp.hpp"
+#include "services/nws.hpp"
+
+namespace grads::reschedule {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  grid::Grid g{eng};
+  grid::QrTestbed tb;
+  std::unique_ptr<services::Gis> gis;
+  std::unique_ptr<services::Nws> nws;
+  std::unique_ptr<services::Ibp> ibp;
+  std::unique_ptr<autopilot::AutopilotManager> autopilot;
+  std::unique_ptr<FailureInjector> injector;
+
+  Fixture() {
+    tb = grid::buildQrTestbed(g);
+    gis = std::make_unique<services::Gis>(g);
+    gis->installEverywhere(services::software::kLocalBinder);
+    gis->installEverywhere(services::software::kScalapack);
+    gis->installEverywhere(services::software::kSrsLibrary);
+    gis->installEverywhere(services::software::kAutopilotSensors);
+    nws = std::make_unique<services::Nws>(eng, g, 10.0, 0.0, 3);
+    nws->start();
+    ibp = std::make_unique<services::Ibp>(g);
+    autopilot = std::make_unique<autopilot::AutopilotManager>(eng);
+    injector = std::make_unique<FailureInjector>(eng, *gis);
+  }
+
+  /// Confines the app to the UIUC cluster so checkpoints and restores stay
+  /// on the fast Myrinet LAN (cross-WAN restores cost as much as full
+  /// recompute on this testbed — see the fault_tolerance bench).
+  void confineToUiuc() {
+    for (const auto node : tb.utkNodes) gis->setNodeUp(node, false);
+  }
+
+  core::RunBreakdown runQr(std::size_t n, std::size_t ckptEvery) {
+    apps::QrConfig cfg;
+    cfg.n = n;
+    cfg.checkpointEveryPanels = ckptEvery;
+    const core::Cop cop = apps::makeQrCop(g, cfg);
+    core::AppManager mgr(g, *gis, nws.get(), *ibp, *autopilot);
+    core::ManagerOptions mopts;
+    mopts.monitorContract = false;        // isolate the failure path
+    mopts.stableDepot = tb.uiucNodes[7];  // a depot that never fails
+    mopts.failures = injector.get();
+    core::RunBreakdown bd;
+    eng.spawn(mgr.run(cop, nullptr, mopts, &bd), "qr-manager");
+    eng.run();
+    return bd;
+  }
+};
+
+TEST(FailureInjector, MarksNodeDownAndSignalsRss) {
+  Fixture f;
+  Rss rss(f.eng, "app");
+  rss.beginIncarnation(4);
+  f.injector->watch(rss);
+  f.injector->scheduleNodeFailure(f.tb.utkNodes[1], 50.0, 5.0);
+  f.eng.runUntil(51.0);
+  EXPECT_FALSE(f.gis->isNodeUp(f.tb.utkNodes[1]));
+  EXPECT_FALSE(rss.failureSignaled());  // heartbeat timeout not yet expired
+  f.eng.runUntil(56.0);
+  EXPECT_TRUE(rss.failureSignaled());
+  EXPECT_EQ(rss.failedNode(), f.tb.utkNodes[1]);
+  EXPECT_EQ(f.injector->failuresInjected(), 1u);
+}
+
+TEST(FailureInjector, RecoveryRestoresAvailability) {
+  Fixture f;
+  f.injector->scheduleNodeFailure(f.tb.utkNodes[0], 10.0);
+  f.injector->scheduleNodeRecovery(f.tb.utkNodes[0], 100.0);
+  f.eng.runUntil(50.0);
+  EXPECT_FALSE(f.gis->isNodeUp(f.tb.utkNodes[0]));
+  f.eng.runUntil(150.0);
+  EXPECT_TRUE(f.gis->isNodeUp(f.tb.utkNodes[0]));
+}
+
+TEST(FailureInjector, BeginIncarnationClearsSignal) {
+  sim::Engine eng;
+  Rss rss(eng, "app");
+  rss.beginIncarnation(2);
+  rss.markFailure(3);
+  EXPECT_TRUE(rss.failureSignaled());
+  rss.beginIncarnation(2);
+  EXPECT_FALSE(rss.failureSignaled());
+}
+
+TEST(FaultTolerance, QrSurvivesNodeFailureWithPeriodicCheckpoints) {
+  Fixture f;
+  f.confineToUiuc();
+  // Fail a UIUC worker mid-run; checkpoints every 16 panels to uiuc7.
+  f.injector->scheduleNodeFailure(f.tb.uiucNodes[1], 150.0, 5.0);
+  const auto bd = f.runQr(6000, 16);
+  EXPECT_EQ(bd.incarnations, 2);
+  ASSERT_EQ(bd.mappings.size(), 2u);
+  // The restart avoided the failed node: incarnation 2 must not use it.
+  for (const auto node : bd.mappings[1]) {
+    EXPECT_NE(node, f.tb.uiucNodes[1]);
+  }
+  EXPECT_GT(bd.totalSeconds, 150.0);
+}
+
+TEST(FaultTolerance, PeriodicCheckpointsBoundLostWork) {
+  Fixture f;
+  f.confineToUiuc();
+  f.injector->scheduleNodeFailure(f.tb.uiucNodes[1], 200.0, 5.0);
+  const auto withCkpt = f.runQr(6000, 12);
+
+  Fixture f2;
+  f2.confineToUiuc();
+  f2.injector->scheduleNodeFailure(f2.tb.uiucNodes[1], 200.0, 5.0);
+  const auto withoutCkpt = f2.runQr(6000, 0);
+
+  EXPECT_EQ(withCkpt.incarnations, 2);
+  EXPECT_EQ(withoutCkpt.incarnations, 2);
+  // Without periodic checkpoints the app restarts from scratch and reads no
+  // checkpoint; with them it resumes mid-stream.
+  EXPECT_DOUBLE_EQ(withoutCkpt.sumSegment(withoutCkpt.checkpointRead), 0.0);
+  EXPECT_GT(withCkpt.sumSegment(withCkpt.checkpointRead), 0.0);
+  EXPECT_LT(withCkpt.totalSeconds, withoutCkpt.totalSeconds);
+}
+
+TEST(FaultTolerance, NoCheckpointRestartLosesEverything) {
+  Fixture f;
+  f.confineToUiuc();
+  f.injector->scheduleNodeFailure(f.tb.uiucNodes[0], 100.0, 5.0);
+  const auto bd = f.runQr(5000, 0);
+  EXPECT_EQ(bd.incarnations, 2);
+  // Incarnation 2 recomputed from phase 0: its duration is at least the
+  // full uninterrupted runtime of the whole problem on UIUC.
+  ASSERT_EQ(bd.appDuration.size(), 2u);
+  EXPECT_GT(bd.appDuration[1], bd.appDuration[0]);
+}
+
+TEST(FaultTolerance, CheckpointOverheadVisibleWithoutFailure) {
+  Fixture f;
+  f.confineToUiuc();
+  const auto none = f.runQr(4000, 0);
+  Fixture f2;
+  f2.confineToUiuc();
+  const auto frequent = f2.runQr(4000, 4);
+  EXPECT_EQ(none.incarnations, 1);
+  EXPECT_EQ(frequent.incarnations, 1);
+  // Periodic checkpointing costs time even when nothing fails.
+  EXPECT_GT(frequent.totalSeconds, none.totalSeconds);
+  EXPECT_GT(frequent.sumSegment(frequent.checkpointWrite), 0.0);
+}
+
+}  // namespace
+}  // namespace grads::reschedule

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace grads::linalg {
+namespace {
+
+Matrix randomMatrix(Rng& rng, std::size_t m, std::size_t n) {
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return a;
+}
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, InitializerListRejectsRagged) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(3);
+  const Matrix a = randomMatrix(rng, 4, 7);
+  const Matrix att = a.transposed().transposed();
+  EXPECT_DOUBLE_EQ(Matrix::maxAbsDiff(a, att), 0.0);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeUnit) {
+  Rng rng(4);
+  const Matrix a = randomMatrix(rng, 5, 5);
+  const Matrix i = Matrix::identity(5);
+  EXPECT_LT(Matrix::maxAbsDiff(a * i, a), 1e-15);
+  EXPECT_LT(Matrix::maxAbsDiff(i * a, a), 1e-15);
+}
+
+TEST(Qr, ReconstructsA) {
+  Rng rng(11);
+  const Matrix a = randomMatrix(rng, 8, 5);
+  const auto qr = householderQr(a);
+  EXPECT_LT(Matrix::maxAbsDiff(qr.q * qr.r, a), 1e-12);
+}
+
+TEST(Qr, QIsOrthogonal) {
+  Rng rng(12);
+  const Matrix a = randomMatrix(rng, 6, 6);
+  const auto qr = householderQr(a);
+  const Matrix qtq = qr.q.transposed() * qr.q;
+  EXPECT_LT(Matrix::maxAbsDiff(qtq, Matrix::identity(6)), 1e-12);
+}
+
+TEST(Qr, RIsUpperTriangular) {
+  Rng rng(13);
+  const Matrix a = randomMatrix(rng, 7, 4);
+  const auto qr = householderQr(a);
+  for (std::size_t i = 1; i < qr.r.rows(); ++i) {
+    for (std::size_t j = 0; j < std::min(i, qr.r.cols()); ++j) {
+      EXPECT_DOUBLE_EQ(qr.r(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Qr, WideMatrixRejected) {
+  const Matrix a(2, 5);
+  EXPECT_THROW(householderQr(a), InvalidArgument);
+}
+
+class QrSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrSizes, FactorizationInvariantsHold) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 100 + n));
+  const Matrix a = randomMatrix(rng, static_cast<std::size_t>(m),
+                                static_cast<std::size_t>(n));
+  const auto qr = householderQr(a);
+  EXPECT_LT(Matrix::maxAbsDiff(qr.q * qr.r, a), 1e-11);
+  const Matrix qtq = qr.q.transposed() * qr.q;
+  EXPECT_LT(Matrix::maxAbsDiff(qtq, Matrix::identity(qtq.rows())), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QrSizes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{3, 2},
+                                           std::pair{10, 10}, std::pair{20, 7},
+                                           std::pair{32, 32},
+                                           std::pair{40, 17}));
+
+TEST(LeastSquares, RecoversExactSolution) {
+  // Overdetermined but consistent system.
+  Rng rng(21);
+  const Matrix a = randomMatrix(rng, 10, 3);
+  const std::vector<double> xTrue{1.0, -2.0, 0.5};
+  const auto b = a * xTrue;
+  const auto x = leastSquares(a, b);
+  ASSERT_EQ(x.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualOnNoisyData) {
+  Rng rng(22);
+  const Matrix a = randomMatrix(rng, 50, 2);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    b[i] = 3.0 * a(i, 0) - 1.0 * a(i, 1) + rng.normal(0.0, 0.01);
+  }
+  const auto x = leastSquares(a, b);
+  EXPECT_NEAR(x[0], 3.0, 0.05);
+  EXPECT_NEAR(x[1], -1.0, 0.05);
+}
+
+TEST(BackSubstitute, SolvesUpperTriangular) {
+  const Matrix r{{2.0, 1.0}, {0.0, 4.0}};
+  const std::vector<double> b{5.0, 8.0};
+  const auto x = backSubstitute(r, b);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+TEST(BackSubstitute, SingularThrows) {
+  const Matrix r{{1.0, 1.0}, {0.0, 0.0}};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(backSubstitute(r, b), InvalidArgument);
+}
+
+TEST(FlopCounts, QrClosedForm) {
+  // Square: 2n²(n − n/3) = (4/3)n³.
+  EXPECT_NEAR(qrFlops(100, 100), 4.0 / 3.0 * 1e6, 1.0);
+  // Tall-skinny dominated by 2mn².
+  EXPECT_NEAR(qrFlops(1000, 10), 2.0 * 1000 * 100 - 2.0 * 1000 / 3.0, 100.0);
+}
+
+TEST(FlopCounts, Matmul) { EXPECT_DOUBLE_EQ(matmulFlops(10), 2000.0); }
+
+}  // namespace
+}  // namespace grads::linalg

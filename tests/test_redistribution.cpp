@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "reschedule/redistribution.hpp"
+#include "util/error.hpp"
+
+namespace grads::reschedule {
+namespace {
+
+// Brute-force reference: walk every block.
+double refBytes(int n, int m, std::size_t elements, std::size_t block,
+                double bpe, int from, int to) {
+  double count = 0.0;
+  for (std::size_t e = 0; e < elements; ++e) {
+    const std::size_t j = e / block;
+    if (static_cast<int>(j % static_cast<std::size_t>(n)) == from &&
+        static_cast<int>(j % static_cast<std::size_t>(m)) == to) {
+      count += 1.0;
+    }
+  }
+  return count * bpe;
+}
+
+TEST(Redistribution, RejectsBadArguments) {
+  EXPECT_THROW(RedistributionPlan(0, 4, 100, 8, 8.0), InvalidArgument);
+  EXPECT_THROW(RedistributionPlan(4, 0, 100, 8, 8.0), InvalidArgument);
+  EXPECT_THROW(RedistributionPlan(4, 4, 100, 0, 8.0), InvalidArgument);
+  EXPECT_THROW(RedistributionPlan(4, 4, 100, 8, 0.0), InvalidArgument);
+}
+
+TEST(Redistribution, IdentityWhenRankCountsMatch) {
+  const RedistributionPlan plan(4, 4, 1024, 16, 8.0);
+  // Block j goes old j%4 → new j%4: everything stays put.
+  EXPECT_DOUBLE_EQ(plan.residentBytes(), plan.totalBytes());
+  for (int from = 0; from < 4; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      if (from != to) {
+        EXPECT_DOUBLE_EQ(plan.bytes(from, to), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Redistribution, TotalIsConserved) {
+  const RedistributionPlan plan(3, 5, 10000, 7, 8.0);
+  EXPECT_DOUBLE_EQ(plan.totalBytes(), 10000.0 * 8.0);
+  double sumInto = 0.0;
+  for (int to = 0; to < 5; ++to) sumInto += plan.bytesInto(to);
+  EXPECT_DOUBLE_EQ(sumInto, plan.totalBytes());
+  double sumFrom = 0.0;
+  for (int from = 0; from < 3; ++from) sumFrom += plan.bytesFrom(from);
+  EXPECT_DOUBLE_EQ(sumFrom, plan.totalBytes());
+}
+
+TEST(Redistribution, MatchesBruteForceIncludingPartialTail) {
+  // elements not divisible by block, block pattern not divisible by lcm.
+  const int n = 4;
+  const int m = 6;
+  const std::size_t elements = 12345;
+  const std::size_t block = 7;
+  const RedistributionPlan plan(n, m, elements, block, 8.0);
+  for (int from = 0; from < n; ++from) {
+    for (int to = 0; to < m; ++to) {
+      EXPECT_DOUBLE_EQ(plan.bytes(from, to),
+                       refBytes(n, m, elements, block, 8.0, from, to))
+          << from << "->" << to;
+    }
+  }
+}
+
+TEST(Redistribution, CoprimeRanksSpreadUniformly) {
+  // With gcd(N,M)=1 every (from,to) pair appears equally often per period.
+  const RedistributionPlan plan(3, 4, 3 * 4 * 64 * 100, 64, 8.0);
+  const double expected = plan.totalBytes() / 12.0;
+  for (int from = 0; from < 3; ++from) {
+    for (int to = 0; to < 4; ++to) {
+      EXPECT_DOUBLE_EQ(plan.bytes(from, to), expected);
+    }
+  }
+}
+
+TEST(Redistribution, DoublingRanksSplitsEachSource) {
+  // 2 → 4 ranks: old rank 0 (blocks 0,2,4,...) feeds exactly new ranks 0
+  // and 2; old rank 1 feeds new ranks 1 and 3.
+  const RedistributionPlan plan(2, 4, 4096, 8, 8.0);
+  EXPECT_GT(plan.bytes(0, 0), 0.0);
+  EXPECT_GT(plan.bytes(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(plan.bytes(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(plan.bytes(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(plan.bytes(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.bytes(1, 2), 0.0);
+}
+
+struct Shape {
+  int n;
+  int m;
+  std::size_t elements;
+  std::size_t block;
+};
+
+class RedistSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RedistSweep, ConservationAndReferenceAgreement) {
+  const auto p = GetParam();
+  const RedistributionPlan plan(p.n, p.m, p.elements, p.block, 8.0);
+  EXPECT_NEAR(plan.totalBytes(), static_cast<double>(p.elements) * 8.0, 1e-6);
+  // Spot-check a few pairs against the brute-force walk.
+  for (int from = 0; from < p.n; from += std::max(1, p.n / 3)) {
+    for (int to = 0; to < p.m; to += std::max(1, p.m / 3)) {
+      EXPECT_DOUBLE_EQ(plan.bytes(from, to),
+                       refBytes(p.n, p.m, p.elements, p.block, 8.0, from, to));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RedistSweep,
+    ::testing::Values(Shape{1, 1, 100, 3}, Shape{8, 8, 65536, 64},
+                      Shape{2, 3, 999, 5}, Shape{5, 2, 100000, 64},
+                      Shape{8, 12, 123457, 32}, Shape{16, 4, 7, 64},
+                      Shape{7, 11, 1000000, 13}));
+
+}  // namespace
+}  // namespace grads::reschedule

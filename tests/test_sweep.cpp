@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "apps/sweep.hpp"
+#include "core/app_manager.hpp"
+#include "grid/load.hpp"
+#include "grid/testbeds.hpp"
+#include "services/ibp.hpp"
+#include "services/nws.hpp"
+#include "sim/sync.hpp"
+
+namespace grads::apps {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  grid::Grid g{eng};
+  grid::QrTestbed tb;
+  std::unique_ptr<services::Gis> gis;
+  std::unique_ptr<services::Nws> nws;
+  std::unique_ptr<services::Ibp> ibp;
+  std::unique_ptr<autopilot::AutopilotManager> autopilot;
+
+  Fixture() {
+    tb = grid::buildQrTestbed(g);
+    gis = std::make_unique<services::Gis>(g);
+    gis->installEverywhere(services::software::kLocalBinder);
+    gis->installEverywhere(services::software::kSrsLibrary);
+    gis->installEverywhere(services::software::kAutopilotSensors);
+    nws = std::make_unique<services::Nws>(eng, g, 10.0, 0.0, 5);
+    nws->start();
+    ibp = std::make_unique<services::Ibp>(g);
+    autopilot = std::make_unique<autopilot::AutopilotManager>(eng);
+  }
+
+  /// Runs the sweep on an explicit world (no AppManager), returns makespan.
+  double runDirect(const SweepConfig& cfg, std::vector<grid::NodeId> mapping,
+                   core::LaunchContext* outCtx = nullptr) {
+    vmpi::World world(g, std::move(mapping), "sweep");
+    const auto cop = makeSweepCop(g, cfg);
+    core::LaunchContext ctx;
+    ctx.appName = "sweep";
+    ctx.world = &world;
+    sim::JoinSet js(eng);
+    for (int r = 0; r < world.size(); ++r) js.spawn(cop.code(ctx, r));
+    eng.spawn([](sim::JoinSet& j) -> sim::Task { co_await j.join(); }(js));
+    const double t0 = eng.now();
+    eng.run();
+    if (outCtx != nullptr) *outCtx = ctx;
+    return eng.now() - t0;
+  }
+};
+
+TEST(Sweep, DeterministicTaskFlops) {
+  SweepConfig cfg;
+  EXPECT_DOUBLE_EQ(sweepTaskFlops(cfg, 7), sweepTaskFlops(cfg, 7));
+  EXPECT_NE(sweepTaskFlops(cfg, 7), sweepTaskFlops(cfg, 8));
+  EXPECT_GE(sweepTaskFlops(cfg, 3), cfg.flopsMin);
+  EXPECT_LT(sweepTaskFlops(cfg, 3), cfg.flopsMax);
+}
+
+TEST(Sweep, CompletesAllTasks) {
+  Fixture f;
+  SweepConfig cfg;
+  cfg.tasks = 32;
+  core::LaunchContext ctx;
+  f.runDirect(cfg, {f.tb.uiucNodes[0], f.tb.uiucNodes[1], f.tb.uiucNodes[2]},
+              &ctx);
+  EXPECT_FALSE(ctx.stopped);
+  EXPECT_EQ(ctx.completedPhases, sweepPhaseCount(cfg));
+}
+
+TEST(Sweep, MoreWorkersFinishFaster) {
+  SweepConfig cfg;
+  cfg.tasks = 48;
+  Fixture f1;
+  const double two =
+      f1.runDirect(cfg, {f1.tb.uiucNodes[0], f1.tb.uiucNodes[1],
+                         f1.tb.uiucNodes[2]});
+  Fixture f2;
+  const double six = f2.runDirect(
+      cfg, {f2.tb.uiucNodes[0], f2.tb.uiucNodes[1], f2.tb.uiucNodes[2],
+            f2.tb.uiucNodes[3], f2.tb.uiucNodes[4], f2.tb.uiucNodes[5],
+            f2.tb.uiucNodes[6]});
+  EXPECT_LT(six, 0.5 * two);
+}
+
+TEST(Sweep, SelfSchedulingBalancesHeterogeneousWorkers) {
+  // A loaded worker should not gate completion the way it does for the
+  // synchronous QR: tasks simply flow to the faster workers.
+  SweepConfig cfg;
+  cfg.tasks = 48;
+  Fixture clean;
+  const double base =
+      clean.runDirect(cfg, {clean.tb.uiucNodes[0], clean.tb.uiucNodes[1],
+                            clean.tb.uiucNodes[2], clean.tb.uiucNodes[3]});
+  Fixture loaded;
+  loaded.g.node(loaded.tb.uiucNodes[3]).injectLoad(4.0);  // one worker at 1/5
+  const double degraded =
+      loaded.runDirect(cfg, {loaded.tb.uiucNodes[0], loaded.tb.uiucNodes[1],
+                             loaded.tb.uiucNodes[2], loaded.tb.uiucNodes[3]});
+  // Aggregate rate drops from 3.0 to ~2.2 worker-equivalents → ≤ ~1.45×
+  // slowdown (a synchronous app would slow ~5×).
+  EXPECT_LT(degraded, 1.7 * base);
+}
+
+TEST(Sweep, PerfModelAggregatesWorkerRates) {
+  Fixture f;
+  SweepConfig cfg;
+  cfg.tasks = 64;
+  SweepPerfModel model(f.g, cfg);
+  std::vector<grid::NodeId> small{f.tb.uiucNodes[0], f.tb.uiucNodes[1]};
+  std::vector<grid::NodeId> large{f.tb.uiucNodes[0], f.tb.uiucNodes[1],
+                                  f.tb.uiucNodes[2], f.tb.uiucNodes[3],
+                                  f.tb.uiucNodes[4]};
+  EXPECT_GT(model.totalSeconds(small, nullptr),
+            2.0 * model.totalSeconds(large, nullptr));
+}
+
+TEST(Sweep, ModelPredictsDirectExecution) {
+  Fixture f;
+  SweepConfig cfg;
+  cfg.tasks = 40;
+  std::vector<grid::NodeId> mapping{f.tb.uiucNodes[0], f.tb.uiucNodes[1],
+                                    f.tb.uiucNodes[2], f.tb.uiucNodes[3]};
+  SweepPerfModel model(f.g, cfg);
+  const double predicted = model.totalSeconds(mapping, nullptr);
+  const double actual = f.runDirect(cfg, mapping);
+  // Self-scheduling has tail effects (last tasks); allow 30%.
+  EXPECT_NEAR(actual, predicted, 0.3 * predicted);
+}
+
+TEST(Sweep, MigratesThroughAppManagerUnderLoad) {
+  Fixture f;
+  SweepConfig cfg;
+  cfg.tasks = 96;
+  const auto cop = makeSweepCop(f.g, cfg);
+  // Degrade the whole initially-chosen cluster so migration is attractive.
+  for (const auto id : f.tb.utkNodes) {
+    grid::applyLoadTrace(f.eng, f.g.node(id), grid::LoadTrace::stepAt(60.0, 4.0));
+  }
+  reschedule::ReschedulerOptions ropts;
+  ropts.mode = reschedule::ReschedulerMode::kForcedMigrate;
+  reschedule::StopRestartRescheduler rescheduler(*f.gis, f.nws.get(), ropts);
+  core::AppManager mgr(f.g, *f.gis, f.nws.get(), *f.ibp, *f.autopilot);
+  core::RunBreakdown bd;
+  f.eng.spawn(mgr.run(cop, &rescheduler, core::ManagerOptions{}, &bd));
+  f.eng.run();
+  EXPECT_EQ(bd.incarnations, 2);
+  // The master's checkpoint is small and cheap — unlike QR's matrix.
+  EXPECT_LT(bd.sumSegment(bd.checkpointRead), 60.0);
+}
+
+class SweepScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepScale, AllTasksAccountedFor) {
+  Fixture f;
+  SweepConfig cfg;
+  cfg.tasks = static_cast<std::size_t>(GetParam());
+  cfg.tasksPerPhase = 4;
+  core::LaunchContext ctx;
+  f.runDirect(cfg, {f.tb.uiucNodes[0], f.tb.uiucNodes[1], f.tb.uiucNodes[2],
+                    f.tb.uiucNodes[3]},
+              &ctx);
+  EXPECT_EQ(ctx.completedPhases, sweepPhaseCount(cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SweepScale, ::testing::Values(4, 7, 16, 33));
+
+}  // namespace
+}  // namespace grads::apps

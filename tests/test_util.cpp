@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace grads {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= v == 0;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(13);
+  stats::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(99);
+  stats::Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.exponential(0.5));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(5);
+  auto p = r.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (auto i : p) {
+    ASSERT_LT(i, 50u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng a(42);
+  Rng c = a.split();
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Stats, AccumulatorBasics) {
+  stats::Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyAccumulatorThrows) {
+  stats::Accumulator acc;
+  EXPECT_THROW(acc.mean(), InvalidArgument);
+}
+
+TEST(Stats, MedianOddEven) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::median(odd), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median(even), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 5.0);
+}
+
+TEST(Stats, PolyFitRecoversExactQuadratic) {
+  std::vector<double> xs, ys;
+  for (double x = 0; x < 10; x += 1) {
+    xs.push_back(x);
+    ys.push_back(3.0 + 2.0 * x + 0.5 * x * x);
+  }
+  const auto fit = stats::polyFit(xs, ys, 2);
+  ASSERT_EQ(fit.coeffs.size(), 3u);
+  EXPECT_NEAR(fit.coeffs[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[2], 0.5, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PolyFitCubicExtrapolates) {
+  // Fit 4/3 n^3 on small sizes, predict a large one — the exact pattern the
+  // performance modeler uses for flop counts.
+  std::vector<double> xs, ys;
+  for (double n : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+    xs.push_back(n);
+    ys.push_back(4.0 / 3.0 * n * n * n);
+  }
+  const auto fit = stats::polyFit(xs, ys, 3);
+  EXPECT_NEAR(fit.eval(8000.0), 4.0 / 3.0 * 8000.0 * 8000.0 * 8000.0,
+              1e-3 * 4.0 / 3.0 * 8000.0 * 8000.0 * 8000.0);
+}
+
+TEST(Stats, PolyFitRejectsTooFewPoints) {
+  std::vector<double> xs{1.0, 2.0};
+  std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(stats::polyFit(xs, ys, 3), InvalidArgument);
+}
+
+TEST(Stats, PowerFitRecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 1.7));
+  }
+  const auto fit = stats::powerFit(xs, ys);
+  EXPECT_NEAR(fit.a, 3.5, 1e-9);
+  EXPECT_NEAR(fit.b, 1.7, 1e-9);
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = util::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(util::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(util::startsWith("cluster utk", "cluster"));
+  EXPECT_FALSE(util::startsWith("cl", "cluster"));
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(util::formatBytes(512.0), "512.0 B");
+  EXPECT_EQ(util::formatBytes(1024.0 * 1024.0), "1.0 MB");
+}
+
+TEST(Table, RowArityEnforced) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({std::string("x")}), InvalidArgument);
+}
+
+TEST(Table, CsvRoundTrip) {
+  util::Table t({"size", "time"});
+  t.addRow({static_cast<std::int64_t>(8000), 431.25});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_EQ(os.str(), "size,time\n8000,431.25\n");
+}
+
+TEST(Table, PrintsAlignedHeader) {
+  util::Table t({"name"});
+  t.addRow({std::string("utk-cluster")});
+  std::ostringstream os;
+  t.print(os, "hdr");
+  const auto s = os.str();
+  EXPECT_NE(s.find("== hdr =="), std::string::npos);
+  EXPECT_NE(s.find("utk-cluster"), std::string::npos);
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(GRADS_REQUIRE(false, "nope"), InvalidArgument);
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(GRADS_ASSERT(false, "bug"), InternalError);
+}
+
+}  // namespace
+}  // namespace grads
