@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eman_workflow.dir/eman_workflow.cpp.o"
+  "CMakeFiles/eman_workflow.dir/eman_workflow.cpp.o.d"
+  "eman_workflow"
+  "eman_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eman_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_qr_migration.dir/fig3_qr_migration.cpp.o"
+  "CMakeFiles/fig3_qr_migration.dir/fig3_qr_migration.cpp.o.d"
+  "fig3_qr_migration"
+  "fig3_qr_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_qr_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

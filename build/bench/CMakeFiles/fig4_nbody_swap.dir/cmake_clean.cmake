@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nbody_swap.dir/fig4_nbody_swap.cpp.o"
+  "CMakeFiles/fig4_nbody_swap.dir/fig4_nbody_swap.cpp.o.d"
+  "fig4_nbody_swap"
+  "fig4_nbody_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nbody_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microgrid_fidelity.dir/microgrid_fidelity.cpp.o"
+  "CMakeFiles/microgrid_fidelity.dir/microgrid_fidelity.cpp.o.d"
+  "microgrid_fidelity"
+  "microgrid_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microgrid_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

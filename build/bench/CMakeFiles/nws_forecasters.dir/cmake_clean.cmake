@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_forecasters.dir/nws_forecasters.cpp.o"
+  "CMakeFiles/nws_forecasters.dir/nws_forecasters.cpp.o.d"
+  "nws_forecasters"
+  "nws_forecasters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_forecasters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opportunistic.dir/opportunistic.cpp.o"
+  "CMakeFiles/opportunistic.dir/opportunistic.cpp.o.d"
+  "opportunistic"
+  "opportunistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opportunistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

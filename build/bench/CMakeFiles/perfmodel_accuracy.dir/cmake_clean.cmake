@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_accuracy.dir/perfmodel_accuracy.cpp.o"
+  "CMakeFiles/perfmodel_accuracy.dir/perfmodel_accuracy.cpp.o.d"
+  "perfmodel_accuracy"
+  "perfmodel_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

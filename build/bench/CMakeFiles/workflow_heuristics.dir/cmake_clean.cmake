@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_heuristics.dir/workflow_heuristics.cpp.o"
+  "CMakeFiles/workflow_heuristics.dir/workflow_heuristics.cpp.o.d"
+  "workflow_heuristics"
+  "workflow_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_rescheduling.dir/workflow_rescheduling.cpp.o"
+  "CMakeFiles/workflow_rescheduling.dir/workflow_rescheduling.cpp.o.d"
+  "workflow_rescheduling"
+  "workflow_rescheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_grid.dir/custom_grid.cpp.o"
+  "CMakeFiles/custom_grid.dir/custom_grid.cpp.o.d"
+  "custom_grid"
+  "custom_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

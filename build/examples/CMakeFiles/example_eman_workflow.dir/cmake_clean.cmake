@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_eman_workflow.dir/eman_workflow.cpp.o"
+  "CMakeFiles/example_eman_workflow.dir/eman_workflow.cpp.o.d"
+  "example_eman_workflow"
+  "example_eman_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_eman_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workflow_rescheduling.dir/workflow_rescheduling.cpp.o"
+  "CMakeFiles/example_workflow_rescheduling.dir/workflow_rescheduling.cpp.o.d"
+  "example_workflow_rescheduling"
+  "example_workflow_rescheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workflow_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_swap.dir/nbody_swap.cpp.o"
+  "CMakeFiles/nbody_swap.dir/nbody_swap.cpp.o.d"
+  "nbody_swap"
+  "nbody_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_migration.dir/qr_migration.cpp.o"
+  "CMakeFiles/qr_migration.dir/qr_migration.cpp.o.d"
+  "qr_migration"
+  "qr_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

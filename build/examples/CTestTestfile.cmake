@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_grid_runs "/root/repo/build/examples/custom_grid")
+set_tests_properties(example_custom_grid_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nbody_swap_runs "/root/repo/build/examples/nbody_swap" "never")
+set_tests_properties(example_nbody_swap_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qr_migration_runs "/root/repo/build/examples/qr_migration" "5000")
+set_tests_properties(example_qr_migration_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_eman_workflow_runs "/root/repo/build/examples/example_eman_workflow")
+set_tests_properties(example_eman_workflow_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_workflow_rescheduling_runs "/root/repo/build/examples/example_workflow_rescheduling")
+set_tests_properties(example_workflow_rescheduling_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

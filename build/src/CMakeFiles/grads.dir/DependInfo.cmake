@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/eman.cpp" "src/CMakeFiles/grads.dir/apps/eman.cpp.o" "gcc" "src/CMakeFiles/grads.dir/apps/eman.cpp.o.d"
+  "/root/repo/src/apps/nbody.cpp" "src/CMakeFiles/grads.dir/apps/nbody.cpp.o" "gcc" "src/CMakeFiles/grads.dir/apps/nbody.cpp.o.d"
+  "/root/repo/src/apps/qr.cpp" "src/CMakeFiles/grads.dir/apps/qr.cpp.o" "gcc" "src/CMakeFiles/grads.dir/apps/qr.cpp.o.d"
+  "/root/repo/src/apps/qr_numeric.cpp" "src/CMakeFiles/grads.dir/apps/qr_numeric.cpp.o" "gcc" "src/CMakeFiles/grads.dir/apps/qr_numeric.cpp.o.d"
+  "/root/repo/src/apps/sweep.cpp" "src/CMakeFiles/grads.dir/apps/sweep.cpp.o" "gcc" "src/CMakeFiles/grads.dir/apps/sweep.cpp.o.d"
+  "/root/repo/src/autopilot/contract.cpp" "src/CMakeFiles/grads.dir/autopilot/contract.cpp.o" "gcc" "src/CMakeFiles/grads.dir/autopilot/contract.cpp.o.d"
+  "/root/repo/src/autopilot/fuzzy.cpp" "src/CMakeFiles/grads.dir/autopilot/fuzzy.cpp.o" "gcc" "src/CMakeFiles/grads.dir/autopilot/fuzzy.cpp.o.d"
+  "/root/repo/src/autopilot/sensor.cpp" "src/CMakeFiles/grads.dir/autopilot/sensor.cpp.o" "gcc" "src/CMakeFiles/grads.dir/autopilot/sensor.cpp.o.d"
+  "/root/repo/src/autopilot/viewer.cpp" "src/CMakeFiles/grads.dir/autopilot/viewer.cpp.o" "gcc" "src/CMakeFiles/grads.dir/autopilot/viewer.cpp.o.d"
+  "/root/repo/src/core/app_manager.cpp" "src/CMakeFiles/grads.dir/core/app_manager.cpp.o" "gcc" "src/CMakeFiles/grads.dir/core/app_manager.cpp.o.d"
+  "/root/repo/src/core/binder.cpp" "src/CMakeFiles/grads.dir/core/binder.cpp.o" "gcc" "src/CMakeFiles/grads.dir/core/binder.cpp.o.d"
+  "/root/repo/src/core/cop.cpp" "src/CMakeFiles/grads.dir/core/cop.cpp.o" "gcc" "src/CMakeFiles/grads.dir/core/cop.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/CMakeFiles/grads.dir/grid/grid.cpp.o" "gcc" "src/CMakeFiles/grads.dir/grid/grid.cpp.o.d"
+  "/root/repo/src/grid/load.cpp" "src/CMakeFiles/grads.dir/grid/load.cpp.o" "gcc" "src/CMakeFiles/grads.dir/grid/load.cpp.o.d"
+  "/root/repo/src/grid/node.cpp" "src/CMakeFiles/grads.dir/grid/node.cpp.o" "gcc" "src/CMakeFiles/grads.dir/grid/node.cpp.o.d"
+  "/root/repo/src/grid/testbeds.cpp" "src/CMakeFiles/grads.dir/grid/testbeds.cpp.o" "gcc" "src/CMakeFiles/grads.dir/grid/testbeds.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/grads.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/grads.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/grads.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/grads.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/reuse.cpp" "src/CMakeFiles/grads.dir/mem/reuse.cpp.o" "gcc" "src/CMakeFiles/grads.dir/mem/reuse.cpp.o.d"
+  "/root/repo/src/mem/trace.cpp" "src/CMakeFiles/grads.dir/mem/trace.cpp.o" "gcc" "src/CMakeFiles/grads.dir/mem/trace.cpp.o.d"
+  "/root/repo/src/microgrid/dml.cpp" "src/CMakeFiles/grads.dir/microgrid/dml.cpp.o" "gcc" "src/CMakeFiles/grads.dir/microgrid/dml.cpp.o.d"
+  "/root/repo/src/perfmodel/kernel_model.cpp" "src/CMakeFiles/grads.dir/perfmodel/kernel_model.cpp.o" "gcc" "src/CMakeFiles/grads.dir/perfmodel/kernel_model.cpp.o.d"
+  "/root/repo/src/reschedule/failure.cpp" "src/CMakeFiles/grads.dir/reschedule/failure.cpp.o" "gcc" "src/CMakeFiles/grads.dir/reschedule/failure.cpp.o.d"
+  "/root/repo/src/reschedule/redistribution.cpp" "src/CMakeFiles/grads.dir/reschedule/redistribution.cpp.o" "gcc" "src/CMakeFiles/grads.dir/reschedule/redistribution.cpp.o.d"
+  "/root/repo/src/reschedule/rescheduler.cpp" "src/CMakeFiles/grads.dir/reschedule/rescheduler.cpp.o" "gcc" "src/CMakeFiles/grads.dir/reschedule/rescheduler.cpp.o.d"
+  "/root/repo/src/reschedule/srs.cpp" "src/CMakeFiles/grads.dir/reschedule/srs.cpp.o" "gcc" "src/CMakeFiles/grads.dir/reschedule/srs.cpp.o.d"
+  "/root/repo/src/reschedule/swap.cpp" "src/CMakeFiles/grads.dir/reschedule/swap.cpp.o" "gcc" "src/CMakeFiles/grads.dir/reschedule/swap.cpp.o.d"
+  "/root/repo/src/services/gis.cpp" "src/CMakeFiles/grads.dir/services/gis.cpp.o" "gcc" "src/CMakeFiles/grads.dir/services/gis.cpp.o.d"
+  "/root/repo/src/services/ibp.cpp" "src/CMakeFiles/grads.dir/services/ibp.cpp.o" "gcc" "src/CMakeFiles/grads.dir/services/ibp.cpp.o.d"
+  "/root/repo/src/services/nws.cpp" "src/CMakeFiles/grads.dir/services/nws.cpp.o" "gcc" "src/CMakeFiles/grads.dir/services/nws.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/grads.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/grads.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/ps_resource.cpp" "src/CMakeFiles/grads.dir/sim/ps_resource.cpp.o" "gcc" "src/CMakeFiles/grads.dir/sim/ps_resource.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/grads.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/grads.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/grads.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/grads.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/grads.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/grads.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/grads.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/grads.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/grads.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/grads.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/grads.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/grads.dir/util/table.cpp.o.d"
+  "/root/repo/src/vmpi/world.cpp" "src/CMakeFiles/grads.dir/vmpi/world.cpp.o" "gcc" "src/CMakeFiles/grads.dir/vmpi/world.cpp.o.d"
+  "/root/repo/src/workflow/annealing.cpp" "src/CMakeFiles/grads.dir/workflow/annealing.cpp.o" "gcc" "src/CMakeFiles/grads.dir/workflow/annealing.cpp.o.d"
+  "/root/repo/src/workflow/builders.cpp" "src/CMakeFiles/grads.dir/workflow/builders.cpp.o" "gcc" "src/CMakeFiles/grads.dir/workflow/builders.cpp.o.d"
+  "/root/repo/src/workflow/dag.cpp" "src/CMakeFiles/grads.dir/workflow/dag.cpp.o" "gcc" "src/CMakeFiles/grads.dir/workflow/dag.cpp.o.d"
+  "/root/repo/src/workflow/estimator.cpp" "src/CMakeFiles/grads.dir/workflow/estimator.cpp.o" "gcc" "src/CMakeFiles/grads.dir/workflow/estimator.cpp.o.d"
+  "/root/repo/src/workflow/executor.cpp" "src/CMakeFiles/grads.dir/workflow/executor.cpp.o" "gcc" "src/CMakeFiles/grads.dir/workflow/executor.cpp.o.d"
+  "/root/repo/src/workflow/scheduler.cpp" "src/CMakeFiles/grads.dir/workflow/scheduler.cpp.o" "gcc" "src/CMakeFiles/grads.dir/workflow/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("grid")
+subdirs("microgrid")
+subdirs("services")
+subdirs("linalg")
+subdirs("mem")
+subdirs("perfmodel")
+subdirs("vmpi")
+subdirs("autopilot")
+subdirs("workflow")
+subdirs("core")
+subdirs("reschedule")
+subdirs("apps")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autopilot.dir/test_autopilot.cpp.o"
+  "CMakeFiles/test_autopilot.dir/test_autopilot.cpp.o.d"
+  "test_autopilot"
+  "test_autopilot.pdb"
+  "test_autopilot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

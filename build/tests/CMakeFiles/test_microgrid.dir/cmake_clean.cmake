@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microgrid.dir/test_microgrid.cpp.o"
+  "CMakeFiles/test_microgrid.dir/test_microgrid.cpp.o.d"
+  "test_microgrid"
+  "test_microgrid.pdb"
+  "test_microgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

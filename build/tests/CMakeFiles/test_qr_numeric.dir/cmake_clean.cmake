@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qr_numeric.dir/test_qr_numeric.cpp.o"
+  "CMakeFiles/test_qr_numeric.dir/test_qr_numeric.cpp.o.d"
+  "test_qr_numeric"
+  "test_qr_numeric.pdb"
+  "test_qr_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qr_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reschedule.dir/test_reschedule.cpp.o"
+  "CMakeFiles/test_reschedule.dir/test_reschedule.cpp.o.d"
+  "test_reschedule"
+  "test_reschedule.pdb"
+  "test_reschedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

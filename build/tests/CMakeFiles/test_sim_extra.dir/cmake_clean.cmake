@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_extra.dir/test_sim_extra.cpp.o"
+  "CMakeFiles/test_sim_extra.dir/test_sim_extra.cpp.o.d"
+  "test_sim_extra"
+  "test_sim_extra.pdb"
+  "test_sim_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

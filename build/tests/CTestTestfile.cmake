@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_autopilot[1]_include.cmake")
+include("/root/repo/build/tests/test_workflow[1]_include.cmake")
+include("/root/repo/build/tests/test_reschedule[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_microgrid[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_redistribution[1]_include.cmake")
+include("/root/repo/build/tests/test_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_annealing[1]_include.cmake")
+include("/root/repo/build/tests/test_qr_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_extra[1]_include.cmake")
