@@ -1,0 +1,266 @@
+// Chaos campaign — degraded-mode Grid under seeded fault schedules.
+//
+// Two applications run under the same randomized fault campaigns (node
+// fail-stops with stale GIS windows, IBP depot outages, WAN partitions, NWS
+// sensor blackouts), once with the degraded-mode mitigations enabled
+// (bounded launch/depot/transfer retries, checkpoint replicas, generation
+// fallback) and once with them disabled. Reported per arm: completion rate
+// across seeds and mean slowdown relative to the fault-free baseline.
+//
+// Every campaign is deterministic in its seed: repeating a seed reproduces
+// the identical schedule and the identical simulated run.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/qr.hpp"
+#include "core/app_manager.hpp"
+#include "grid/testbeds.hpp"
+#include "reschedule/chaos.hpp"
+#include "reschedule/failure.hpp"
+#include "services/ibp.hpp"
+#include "services/nws.hpp"
+#include "util/table.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/executor.hpp"
+
+using namespace grads;
+
+namespace {
+
+struct RunOutcome {
+  bool completed = false;
+  double seconds = 0.0;
+  std::string error;
+  int faultsApplied = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: QR via the application manager (checkpoints, restarts).
+// ---------------------------------------------------------------------------
+
+RunOutcome runQr(std::uint64_t seed, bool faults, bool mitigate) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kScalapack);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  gis.installEverywhere(services::software::kAutopilotSensors);
+  // Confine compute to UIUC (cross-WAN restores dwarf everything else on
+  // this testbed); UTK stays reachable and serves as the replica site.
+  for (const auto node : tb.utkNodes) gis.setNodeUp(node, false);
+  services::Nws nws(eng, g, 10.0, 0.0, 9);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+  reschedule::FailureInjector injector(eng, gis);
+  reschedule::ChaosDriver chaos(eng, g, injector, &nws, &ibp);
+
+  const grid::NodeId depot = tb.uiucNodes[7];
+  if (faults) {
+    reschedule::CampaignConfig cc;
+    cc.seed = seed;
+    cc.horizonSec = 450.0;  // inside the ~550 s run: faults hit mid-flight
+    cc.nodeFailures = 1;
+    cc.nodeOutageSec = 400.0;
+    cc.detectionDelaySec = 5.0;
+    cc.gisLagSec = 45.0;  // stale-directory window: relaunches hit the corpse
+    cc.candidateNodes.assign(tb.uiucNodes.begin(), tb.uiucNodes.begin() + 6);
+    cc.depotOutages = 2;
+    cc.depotOutageSec = 200.0;
+    cc.candidateDepots = {depot};
+    cc.nwsOutages = 1;
+    cc.nwsOutageSec = 300.0;
+    chaos.armAll(reschedule::makeCampaign(cc));
+  }
+
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  cfg.checkpointEveryPanels = 8;
+  const core::Cop cop = apps::makeQrCop(g, cfg);
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+  core::ManagerOptions mopts;
+  mopts.monitorContract = false;
+  mopts.stableDepot = depot;
+  mopts.failures = &injector;
+  mopts.retrySeed = seed;
+  if (mitigate) {
+    mopts.depotRetry.maxAttempts = 3;
+    mopts.depotRetry.baseDelaySec = 20.0;
+    mopts.replicaDepot = tb.uiucNodes[6];  // second depot on the same LAN
+  } else {
+    mopts.launchRetry = util::RetryPolicy::none();
+    mopts.depotRetry = util::RetryPolicy::none();
+  }
+
+  core::RunBreakdown bd;
+  eng.spawn(mgr.run(cop, nullptr, mopts, &bd), "qr");
+  RunOutcome out;
+  try {
+    eng.run();
+    eng.rethrowIfFailed();
+    if (bd.totalSeconds > 0.0) {
+      out.completed = true;
+      out.seconds = bd.totalSeconds;
+    } else {
+      out.error = "run stalled (manager never completed)";
+      out.seconds = eng.now();
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.seconds = eng.now();
+  }
+  out.faultsApplied = chaos.counters().total();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: workflow DAG via the executor (launch remaps, link retries).
+// ---------------------------------------------------------------------------
+
+RunOutcome runWorkflow(std::uint64_t seed, bool faults, bool mitigate) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  services::Gis gis(g);
+  services::Nws nws(eng, g, 10.0, 0.0, 9);
+  nws.start();
+  services::Ibp ibp(g);
+  reschedule::FailureInjector injector(eng, gis);
+  reschedule::ChaosDriver chaos(eng, g, injector, &nws, &ibp);
+
+  // Partition/degrade targets: the WAN pipe and both campus LANs (LAN
+  // partitions are what actually hit intra-cluster input transfers).
+  const grid::LinkId wan =
+      g.route(tb.utkNodes[0], tb.uiucNodes[0]).links.front();
+  const grid::LinkId utkLan =
+      g.route(tb.utkNodes[0], tb.utkNodes[1]).links.front();
+  const grid::LinkId uiucLan =
+      g.route(tb.uiucNodes[0], tb.uiucNodes[1]).links.front();
+  if (faults) {
+    reschedule::CampaignConfig cc;
+    cc.seed = seed;
+    cc.horizonSec = 600.0;
+    cc.nodeFailures = 2;
+    cc.nodeOutageSec = 300.0;
+    cc.gisLagSec = 120.0;  // the executor must catch stale targets itself
+    cc.candidateNodes = tb.uiucNodes;
+    cc.linkPartitions = 3;
+    cc.linkOutageSec = 90.0;
+    cc.candidateLinks = {wan, utkLan, uiucLan};
+    cc.linkDegrades = 1;
+    cc.degradeScale = 0.2;
+    cc.degradeDurationSec = 200.0;
+    cc.nwsOutages = 1;
+    cc.nwsOutageSec = 200.0;
+    chaos.armAll(reschedule::makeCampaign(cc));
+  }
+
+  Rng dagRng(0xDA6ULL);  // same DAG for every arm and seed
+  workflow::Dag dag = workflow::makeRandomLayered(6, 5, dagRng);
+
+  workflow::WorkflowExecutor exec(g, gis, &nws);
+  workflow::ExecutionOptions opts;
+  opts.retrySeed = seed;
+  if (mitigate) {
+    opts.faultTolerant = true;
+    opts.retry.maxAttempts = 6;
+    opts.retry.baseDelaySec = 15.0;
+    opts.retry.maxDelaySec = 90.0;
+  }
+
+  workflow::ExecutionResult res;
+  eng.spawn(exec.execute(dag, opts, &res), "workflow");
+  RunOutcome out;
+  try {
+    eng.run();
+    eng.rethrowIfFailed();
+    // A component that died mid-DAG strands its successors: the simulation
+    // drains with the workflow unfinished (makespan never set). That is a
+    // lost run, not a completion.
+    if (res.makespan > 0.0) {
+      out.completed = true;
+      out.seconds = res.makespan;
+    } else {
+      out.error = "workflow stalled (component lost, successors stranded)";
+      out.seconds = eng.now();
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.seconds = eng.now();
+  }
+  out.faultsApplied = chaos.counters().total();
+  return out;
+}
+
+using Scenario = RunOutcome (*)(std::uint64_t, bool, bool);
+
+void report(util::Table& table, const char* app, Scenario run,
+            const std::vector<std::uint64_t>& seeds) {
+  for (const bool mitigate : {true, false}) {
+    // Fault-free baseline of the *same* configuration, so the slowdown
+    // isolates the faults' cost (the mitigated arm pays its replica writes
+    // in its own baseline too).
+    const RunOutcome baseline = run(seeds.front(), false, mitigate);
+    int completed = 0;
+    int faults = 0;
+    double slowdownSum = 0.0;
+    for (const auto seed : seeds) {
+      const RunOutcome o = run(seed, true, mitigate);
+      faults += o.faultsApplied;
+      if (o.completed) {
+        ++completed;
+        slowdownSum += o.seconds / baseline.seconds;
+      } else {
+        std::cout << "  [" << app << (mitigate ? "/mitigated" : "/raw")
+                  << " seed " << seed << "] lost: " << o.error << "\n";
+      }
+    }
+    table.addRow({app, mitigate ? "on" : "off",
+                  static_cast<std::int64_t>(seeds.size()),
+                  static_cast<std::int64_t>(faults),
+                  static_cast<std::int64_t>(completed),
+                  100.0 * completed / static_cast<double>(seeds.size()),
+                  completed > 0 ? slowdownSum / completed : 0.0,
+                  baseline.seconds});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55};
+
+  // Determinism: the same seed must reproduce the identical run.
+  {
+    const RunOutcome a = runQr(seeds[0], true, true);
+    const RunOutcome b = runQr(seeds[0], true, true);
+    if (a.completed != b.completed || a.seconds != b.seconds) {
+      std::cerr << "NON-DETERMINISTIC campaign: " << a.seconds
+                << " != " << b.seconds << "\n";
+      return 1;
+    }
+    std::cout << "determinism check: seed " << seeds[0]
+              << " reproduces exactly (t=" << a.seconds << " s)\n\n";
+  }
+
+  util::Table table({"app", "mitigations", "campaigns", "faults", "completed",
+                     "completion_pct", "mean_slowdown", "baseline_s"});
+  report(table, "qr", &runQr, seeds);
+  report(table, "workflow", &runWorkflow, seeds);
+  table.print(std::cout,
+              "Chaos campaigns — node/link/NWS/depot faults, mitigations "
+              "on vs off (slowdown vs fault-free baseline)");
+  table.saveCsv("chaos_campaign.csv");
+
+  std::cout << "\nExpected shape: with mitigations on, every campaign "
+               "completes (bounded retries + replicas + generation "
+               "fallback absorb the faults at some slowdown); with "
+               "mitigations off, stale-GIS launches and partitioned links "
+               "kill runs outright and dark depots force scratch "
+               "restarts.\n";
+  return 0;
+}

@@ -53,8 +53,12 @@ double QrPerfModel::phaseSeconds(const std::vector<grid::NodeId>& mapping,
   for (const auto node : mapping) {
     double rate = grid_->node(node).spec().effectiveFlopsPerCpu();
     if (nws != nullptr) {
-      rate = view == core::RateView::kIncumbent ? nws->incumbentRate(node)
-                                                : nws->effectiveRate(node);
+      // Degrade to the static spec rate when the sensors are dark and no
+      // measurement exists (or the node measured fully saturated).
+      const auto measured = view == core::RateView::kIncumbent
+                                ? nws->tryIncumbentRate(node)
+                                : nws->tryEffectiveRate(node);
+      if (measured && *measured > 0.0) rate = *measured;
     }
     minRate = std::min(minRate, rate);
   }
@@ -83,8 +87,24 @@ sim::Task qrRank(core::LaunchContext& ctx, int rank, QrConfig cfg) {
 
   if (ctx.restored && ctx.srs != nullptr) {
     // N-to-M redistribution of the checkpointed matrix (all ranks pull
-    // their slices concurrently).
-    co_await ctx.srs->restoreCheckpoint(rank);
+    // their slices concurrently). A rank whose slices stay unreadable must
+    // not throw past the coming barrier (the peers would wait forever):
+    // the failure is made collective via an allreduce, and all ranks exit
+    // together so the manager can fall back to an older generation.
+    double myFail = 0.0;
+    double fail = 0.0;
+    try {
+      co_await ctx.srs->restoreCheckpoint(rank);
+    } catch (const reschedule::CheckpointUnavailableError& e) {
+      GRADS_WARN("qr") << ctx.appName << " rank " << rank << ": " << e.what();
+      myFail = 1.0;
+    }
+    co_await w.allreduce(rank, 64.0, myFail, &fail);
+    if (fail > 0.5) {
+      ctx.stopped = true;
+      ctx.restoreFailed = true;
+      co_return;
+    }
   }
   co_await w.barrier(rank);
 

@@ -5,6 +5,7 @@
 #include "autopilot/sensor.hpp"
 #include "services/gis.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace grads::apps {
@@ -48,9 +49,11 @@ double SweepPerfModel::phaseSeconds(const std::vector<grid::NodeId>& mapping,
   for (std::size_t r = 1; r < mapping.size(); ++r) {
     double rate = grid_->node(mapping[r]).spec().effectiveFlopsPerCpu();
     if (nws != nullptr) {
-      rate = view == core::RateView::kIncumbent
-                 ? nws->incumbentRate(mapping[r])
-                 : nws->effectiveRate(mapping[r]);
+      // Fall back to the static spec rate when the sensors have no data.
+      const auto measured = view == core::RateView::kIncumbent
+                                ? nws->tryIncumbentRate(mapping[r])
+                                : nws->tryEffectiveRate(mapping[r]);
+      if (measured && *measured > 0.0) rate = *measured;
     }
     aggregate += rate;
   }
@@ -77,15 +80,25 @@ sim::Task sweepMaster(core::LaunchContext& ctx, SweepConfig cfg) {
   vmpi::World& w = *ctx.world;
   const int workers = w.size() - 1;
 
+  bool restoreFailed = false;
   if (ctx.restored && ctx.srs != nullptr) {
-    co_await ctx.srs->restoreCheckpoint(0);
+    // Only the master holds checkpointed state. On an unreadable checkpoint
+    // it must still run the dispatch loop to halt every worker (they are
+    // already blocked in their request/recv cycle) before reporting the
+    // failed restore to the manager.
+    try {
+      co_await ctx.srs->restoreCheckpoint(0);
+    } catch (const reschedule::CheckpointUnavailableError& e) {
+      GRADS_WARN("sweep") << ctx.appName << ": " << e.what();
+      restoreFailed = true;
+    }
   }
 
   std::size_t nextTask = ctx.startPhase * cfg.tasksPerPhase;
   std::size_t completed = nextTask;
   std::size_t dispatched = nextTask;
   int halted = 0;
-  bool stopping = false;
+  bool stopping = restoreFailed;  // halt workers without dispatching work
   double phaseStart = w.engine().now();
 
   while (halted < workers) {
@@ -119,6 +132,16 @@ sim::Task sweepMaster(core::LaunchContext& ctx, SweepConfig cfg) {
   // All workers halted; in-flight results were consumed above because a
   // worker only requests after its result is delivered.
   GRADS_ASSERT(completed == dispatched, "sweep: lost results");
+
+  if (restoreFailed) {
+    // Nothing was computed and nothing was restored: the in-memory state is
+    // bogus, so do NOT checkpoint it — report the failure and let the
+    // manager pick an older generation (or restart from scratch).
+    ctx.stopped = true;
+    ctx.restoreFailed = true;
+    ctx.completedPhases = 0;
+    co_return;
+  }
 
   // Completed phases round up for progress reporting, but a restart must
   // resume from the last *fully* completed phase boundary.

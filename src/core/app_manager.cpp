@@ -1,5 +1,6 @@
 #include "core/app_manager.hpp"
 
+#include <exception>
 #include <numeric>
 #include <set>
 
@@ -31,17 +32,41 @@ sim::Task AppManager::run(const Cop& cop,
   if (options.failures != nullptr) options.failures->watch(rss);
   std::size_t resumePhase = 0;
   bool restored = false;
+  int consecutiveRestoreFailures = 0;
 
   // The contract monitor persists across incarnations (its terms are
   // updated after each migration).
   std::unique_ptr<autopilot::ContractMonitor> monitor;
+
+  std::vector<std::string> arrayNames;
+  for (const auto& [array, bytes] : cop.checkpointArrays) {
+    (void)bytes;
+    arrayNames.push_back(array);
+  }
+
+  // Launch retry budget: spans resource selection + binding of one launch
+  // attempt chain, and is refilled after every successful launch.
+  Rng launchRng(options.retrySeed ^ 0xa71aa71aULL);
+  util::Retry launchRetry(options.launchRetry, &launchRng);
 
   while (true) {
     // --- Resource selection (scheduler queries GIS/NWS). ---
     double t0 = eng.now();
     co_await sim::sleepFor(eng, options.resourceSelectionSec);
     const auto available = gis_->availableNodes();
-    GRADS_REQUIRE(!available.empty(), "AppManager: no available resources");
+    if (available.empty()) {
+      // Degraded mode: every known node is down or reserved. Back off and
+      // re-query the directory instead of aborting the run.
+      ++breakdown.launchFailures;
+      const auto delay = launchRetry.nextDelaySec();
+      GRADS_REQUIRE(delay.has_value(),
+                    "AppManager: no available resources (retries exhausted)");
+      GRADS_WARN("app-manager") << cop.name
+                                << ": no available resources, retrying in "
+                                << *delay << " s";
+      co_await sim::sleepFor(eng, *delay);
+      continue;
+    }
     breakdown.resourceSelection.push_back(eng.now() - t0);
 
     // --- Performance modeling + mapping. ---
@@ -65,8 +90,36 @@ sim::Task AppManager::run(const Cop& cop,
     // --- Grid overhead: the distributed binder. ---
     BindReport bindReport;
     Binder binder(eng, *gis_);
-    co_await binder.bind(cop, mapping, &bindReport);
+    std::exception_ptr bindError;
+    try {
+      co_await binder.bind(cop, mapping, &bindReport);
+    } catch (const BindError& e) {
+      bindError = std::current_exception();
+      GRADS_WARN("app-manager") << cop.name << ": launch failed ("
+                                << e.what() << ")";
+    }
+    if (bindError) {
+      // Launch failed — typically a stale GIS entry (a mapped node is in
+      // truth unreachable). Push the truth into the directory so the next
+      // selection avoids it, release the reservation, drop this attempt's
+      // breakdown entries, and retry on a fresh mapping.
+      for (const auto node : mapping) {
+        if (!gis_->isNodeReachable(node)) gis_->setNodeUp(node, false);
+      }
+      for (const auto node : reserved) {
+        if (gis_->isNodeReachable(node)) gis_->setNodeUp(node, true);
+      }
+      breakdown.resourceSelection.pop_back();
+      breakdown.perfModeling.pop_back();
+      breakdown.mappings.pop_back();
+      ++breakdown.launchFailures;
+      const auto delay = launchRetry.nextDelaySec();
+      if (!delay) std::rethrow_exception(bindError);
+      co_await sim::sleepFor(eng, *delay);
+      continue;
+    }
     breakdown.gridOverhead.push_back(bindReport.seconds);
+    launchRetry = util::Retry(options.launchRetry, &launchRng);
 
     // --- Application start (launch + MPI global synchronization, §2). ---
     t0 = eng.now();
@@ -81,8 +134,36 @@ sim::Task AppManager::run(const Cop& cop,
     if (options.stableDepot != grid::kNoId) {
       srs.setStableDepot(options.stableDepot);
     }
+    if (options.replicaDepot != grid::kNoId) {
+      srs.setReplicaDepot(options.replicaDepot);
+    }
+    srs.setRetryPolicy(options.depotRetry, options.retrySeed ^ 0xdeb07ULL);
     for (const auto& [array, bytes] : cop.checkpointArrays) {
       srs.registerArray(array, bytes);
+    }
+
+    if (restored) {
+      // Pre-flight: pick the newest generation whose every object is
+      // readable right now (primary or replica). The newest ledger entry
+      // may be gone — its depot dark or its objects lost with a dead node.
+      const auto gen = reschedule::findRestorableGeneration(*ibp_, rss,
+                                                            arrayNames);
+      if (gen) {
+        srs.setRestoreGeneration(*gen);
+        resumePhase = rss.checkpointRecord(*gen)->iteration;
+        if (*gen != rss.incarnation() - 1) {
+          GRADS_WARN("app-manager")
+              << cop.name << ": newest checkpoint unreadable, falling back "
+              << "to generation " << *gen << " (iteration " << resumePhase
+              << ")";
+        }
+      } else {
+        GRADS_WARN("app-manager") << cop.name
+                                  << ": no readable checkpoint generation, "
+                                  << "restarting from scratch";
+        restored = false;
+        resumePhase = 0;
+      }
     }
 
     LaunchContext ctx;
@@ -157,6 +238,27 @@ sim::Task AppManager::run(const Cop& cop,
       if (rescheduler != nullptr) rescheduler->onAppCompleted();
       break;
     }
+    if (ctx.restoreFailed) {
+      // The incarnation aborted because its checkpoint turned unreadable
+      // between the pre-flight and the read (depot flapping). Retry the
+      // restore a bounded number of times, then cut losses and restart
+      // from scratch rather than loop forever.
+      ++breakdown.restoreFailures;
+      ++consecutiveRestoreFailures;
+      if (consecutiveRestoreFailures > options.maxRestoreFailures) {
+        GRADS_WARN("app-manager")
+            << cop.name << ": " << consecutiveRestoreFailures
+            << " consecutive failed restores, abandoning checkpoint";
+        restored = false;
+        resumePhase = 0;
+        consecutiveRestoreFailures = 0;
+      } else {
+        restored = rss.hasCheckpoint();
+        resumePhase = restored ? rss.storedIteration() : 0;
+      }
+      continue;
+    }
+    consecutiveRestoreFailures = 0;
     GRADS_INFO("app-manager") << cop.name << ": stopped at phase "
                               << ctx.completedPhases << "; restarting";
     // A rescheduler-driven stop leaves a fresh checkpoint; a failure leaves

@@ -9,6 +9,7 @@
 #include "reschedule/failure.hpp"
 #include "reschedule/rescheduler.hpp"
 #include "services/ibp.hpp"
+#include "util/retry.hpp"
 
 namespace grads::core {
 
@@ -33,6 +34,24 @@ struct ManagerOptions {
   reschedule::FailureInjector* failures = nullptr;
   /// Contract-Viewer recorder for this app's contract activity; may be null.
   autopilot::ContractViewer* viewer = nullptr;
+
+  // --- Degraded-mode mitigations. ---
+  /// Launch retry: how often the manager re-runs resource selection +
+  /// binding when the candidate set is empty or a mapped node turns out to
+  /// be unreachable (stale GIS entry). The budget resets after every
+  /// successful launch. `RetryPolicy::none()` restores fail-fast behavior.
+  util::RetryPolicy launchRetry;
+  /// Depot retry for SRS checkpoint reads during restore (backoff between
+  /// attempts while a depot is dark). Default: no retries.
+  util::RetryPolicy depotRetry = util::RetryPolicy::none();
+  /// Seed for the retry-jitter Rng (campaigns stay deterministic).
+  std::uint64_t retrySeed = 0x9e3779b9ULL;
+  /// Second depot every checkpoint object is mirrored to (kNoId = no
+  /// replica): a single depot outage then cannot strand the application.
+  grid::NodeId replicaDepot = grid::kNoId;
+  /// Consecutive failed restores tolerated before the manager abandons the
+  /// checkpoint and restarts from scratch.
+  int maxRestoreFailures = 2;
 };
 
 /// Per-run accounting matching Figure 3's stacked bars; one entry per
@@ -48,6 +67,8 @@ struct RunBreakdown {
   std::vector<std::vector<grid::NodeId>> mappings;
   double totalSeconds = 0.0;
   int incarnations = 0;
+  int launchFailures = 0;   ///< empty candidate sets + stale-GIS bind failures
+  int restoreFailures = 0;  ///< incarnations aborted on unreadable checkpoint
 
   double sumSegment(const std::vector<double>& v) const;
 };

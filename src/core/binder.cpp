@@ -37,6 +37,13 @@ sim::Task Binder::bind(const Cop& cop, std::vector<grid::NodeId> mapping,
   std::set<grid::NodeId> distinct(mapping.begin(), mapping.end());
   co_await sim::sleepFor(*engine_, opts_.gisQuerySec);  // locate binder itself
   for (const auto node : distinct) {
+    // A node the directory still lists as up may in truth be unreachable
+    // (GIS staleness window): the launch attempt fails here, and the caller
+    // retries on a fresh mapping instead of hanging on a dead node.
+    if (!gis_->isNodeReachable(node)) {
+      throw BindError("node " + gis_->grid().node(node).name() +
+                      " unreachable (stale GIS entry)");
+    }
     if (!gis_->hasSoftware(node, services::software::kLocalBinder)) {
       throw BindError("no local binder installed on " +
                       gis_->grid().node(node).name());

@@ -26,6 +26,10 @@ struct LaunchContext {
 
   bool stopped = false;         ///< set by the app when SRS stopped it
   std::size_t completedPhases = 0;
+  /// Set with `stopped` when the incarnation aborted because its checkpoint
+  /// could not be read (depot dark past the retry budget). The manager
+  /// falls back to an older generation or restarts from scratch.
+  bool restoreFailed = false;
 };
 
 /// The application body: one coroutine per MPI rank.

@@ -18,8 +18,16 @@ Link::Link(sim::Engine& engine, LinkId id, LinkSpec spec)
 }
 
 double Link::availableBandwidth() const {
+  if (!up_) return 0.0;
   const double perFlow = spec_.perFlowCapBytesPerSec;
   return std::min(perFlow, bw_->capacity() / (bw_->totalWeight() + 1.0));
+}
+
+void Link::setBandwidthScale(double scale) {
+  GRADS_REQUIRE(scale > 0.0 && scale <= 1.0,
+                "Link::setBandwidthScale: scale must be in (0, 1]");
+  scale_ = scale;
+  bw_->setCapacity(spec_.bandwidthBytesPerSec * scale);
 }
 
 Grid::Grid(sim::Engine& engine) : engine_(&engine) {}
@@ -145,9 +153,26 @@ Route Grid::route(NodeId src, NodeId dst) const {
   return r;
 }
 
+bool Grid::routeUp(NodeId src, NodeId dst) const {
+  const Route r = route(src, dst);
+  for (const LinkId l : r.links) {
+    if (!links_[l]->isUp()) return false;
+  }
+  return true;
+}
+
 sim::Task Grid::transfer(NodeId src, NodeId dst, double bytes) {
   GRADS_REQUIRE(bytes >= 0.0, "transfer: negative size");
   const Route r = route(src, dst);
+  // Fail fast on a partitioned path: connection setup does not complete, so
+  // no bandwidth is consumed. Flows already in flight keep streaming.
+  for (const LinkId l : r.links) {
+    if (!links_[l]->isUp()) {
+      throw LinkDownError("transfer " + nodes_[src]->name() + " -> " +
+                          nodes_[dst]->name() + ": link " +
+                          links_[l]->spec().name + " is down");
+    }
+  }
   if (r.latencySec > 0.0) co_await sim::sleepFor(*engine_, r.latencySec);
   if (r.links.empty() || bytes == 0.0) co_return;
   if (r.links.size() == 1) {

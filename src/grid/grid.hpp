@@ -10,8 +10,17 @@
 #include "sim/engine.hpp"
 #include "sim/ps_resource.hpp"
 #include "sim/task.hpp"
+#include "util/error.hpp"
 
 namespace grads::grid {
+
+/// Raised when a transfer is attempted across a link that is down (network
+/// partition). Callers with a degraded-mode path catch this and retry with
+/// backoff — partitions heal — instead of dying on first contact.
+class LinkDownError : public Error {
+ public:
+  explicit LinkDownError(const std::string& what) : Error(what) {}
+};
 
 /// A network link (WAN pipe or cluster switch). Bandwidth is a shared
 /// processor-sharing resource: concurrent flows divide it fairly;
@@ -32,12 +41,24 @@ class Link {
   double latency() const { return spec_.latencySec; }
   sim::PsResource& bandwidth() { return *bw_; }
   const sim::PsResource& bandwidth() const { return *bw_; }
-  /// Bandwidth a new flow would get right now (bytes/s).
+  /// Bandwidth a new flow would get right now (bytes/s); 0 while down.
   double availableBandwidth() const;
+
+  /// Partition state: a down link refuses new transfers (LinkDownError);
+  /// flows already streaming keep draining at the degraded rate.
+  void setUp(bool up) { up_ = up; }
+  bool isUp() const { return up_; }
+
+  /// Scales deliverable bandwidth to `scale`·nominal (0 < scale <= 1) —
+  /// a congested or flapping WAN path. 1.0 restores the full spec rate.
+  void setBandwidthScale(double scale);
+  double bandwidthScale() const { return scale_; }
 
  private:
   LinkId id_;
   LinkSpec spec_;
+  bool up_ = true;
+  double scale_ = 1.0;
   std::unique_ptr<sim::PsResource> bw_;
 };
 
@@ -94,6 +115,9 @@ class Grid {
 
   /// Resolves the route between two nodes (BFS over the cluster graph).
   Route route(NodeId src, NodeId dst) const;
+
+  /// True when every link on the route between the two nodes is up.
+  bool routeUp(NodeId src, NodeId dst) const;
 
   /// Moves `bytes` from src to dst: pays route latency once, then streams
   /// through every shared link on the path concurrently (the slowest —

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "reschedule/failure.hpp"
+#include "services/ibp.hpp"
+#include "services/nws.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace grads::reschedule {
+
+/// One scheduled fault in a chaos campaign. Which fields matter depends on
+/// `kind`; `durationSec <= 0` makes the fault permanent (no recovery event).
+enum class ChaosKind {
+  kNodeFailure,    ///< fail-stop `node`; GIS stays stale for gisLagSec
+  kLinkPartition,  ///< `link` refuses transfers (LinkDownError) while down
+  kLinkDegrade,    ///< `link` delivers bandwidthScale × nominal bandwidth
+  kNwsOutage,      ///< the sensor battery goes dark (forecasts age out)
+  kDepotOutage,    ///< IBP depot on `node` refuses puts/gets while down
+};
+
+const char* chaosKindName(ChaosKind kind);
+
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kNodeFailure;
+  double atSec = 0.0;        ///< absolute injection time
+  double durationSec = 0.0;  ///< outage length; <= 0 means no recovery
+  grid::NodeId node = grid::kNoId;  ///< kNodeFailure / kDepotOutage
+  grid::LinkId link = grid::kNoId;  ///< kLinkPartition / kLinkDegrade
+  double bandwidthScale = 0.25;     ///< kLinkDegrade
+  double detectionDelaySec = 5.0;   ///< kNodeFailure heartbeat timeout
+  double gisLagSec = 0.0;           ///< kNodeFailure stale-directory window
+};
+
+/// Tallies of faults actually applied (recoveries counted separately).
+struct ChaosCounters {
+  int nodeFailures = 0;
+  int nodeRecoveries = 0;
+  int linkPartitions = 0;
+  int linkDegrades = 0;
+  int nwsOutages = 0;
+  int depotOutages = 0;
+  int total() const {
+    return nodeFailures + linkPartitions + linkDegrades + nwsOutages +
+           depotOutages;
+  }
+};
+
+/// Parameters for the seeded random campaign generator. Counts are events of
+/// each kind, drawn uniformly over the horizon and over the candidate
+/// node/link/depot pools.
+struct CampaignConfig {
+  double horizonSec = 1800.0;  ///< injection times drawn in [0, horizon)
+  std::uint64_t seed = 1;
+
+  int nodeFailures = 0;
+  double nodeOutageSec = 300.0;     ///< failure -> recovery
+  double detectionDelaySec = 5.0;
+  double gisLagSec = 30.0;          ///< stale-GIS window per failure
+  std::vector<grid::NodeId> candidateNodes;
+
+  int linkPartitions = 0;
+  double linkOutageSec = 60.0;
+  int linkDegrades = 0;
+  double degradeScale = 0.25;
+  double degradeDurationSec = 300.0;
+  std::vector<grid::LinkId> candidateLinks;
+
+  int nwsOutages = 0;
+  double nwsOutageSec = 240.0;
+
+  int depotOutages = 0;
+  double depotOutageSec = 180.0;
+  std::vector<grid::NodeId> candidateDepots;
+};
+
+/// Draws a fault schedule from the config: deterministic in `config.seed`,
+/// sorted by injection time.
+std::vector<ChaosEvent> makeCampaign(const CampaignConfig& config);
+
+/// Seeded deterministic fault-campaign driver: arms a schedule of
+/// ChaosEvents against the simulation via engine daemons. Node events route
+/// through the FailureInjector (heartbeat detection, stale-GIS windows, RSS
+/// signaling); link, NWS, and depot events flip the respective degraded-mode
+/// switches and schedule their recoveries.
+///
+/// `nws` / `ibp` may be null when the campaign has no events of those kinds.
+class ChaosDriver {
+ public:
+  ChaosDriver(sim::Engine& engine, grid::Grid& grid, FailureInjector& failures,
+              services::Nws* nws = nullptr, services::Ibp* ibp = nullptr);
+
+  /// Arms one event (its injection and, if durationSec > 0, its recovery).
+  void arm(const ChaosEvent& event);
+  /// Arms a whole schedule.
+  void armAll(const std::vector<ChaosEvent>& events);
+
+  const ChaosCounters& counters() const { return counters_; }
+  std::size_t armed() const { return armed_; }
+
+ private:
+  void apply(const ChaosEvent& event);
+  void revert(const ChaosEvent& event);
+
+  sim::Engine* engine_;
+  grid::Grid* grid_;
+  FailureInjector* failures_;
+  services::Nws* nws_;
+  services::Ibp* ibp_;
+  ChaosCounters counters_;
+  std::size_t armed_ = 0;
+  /// Nested NWS outages: the battery relights only when the last one ends.
+  int nwsDarkDepth_ = 0;
+  /// Per-link partition nesting (overlapping windows must not re-light
+  /// a link another event still holds down). Same for depots.
+  std::map<grid::LinkId, int> linkDownDepth_;
+  std::map<grid::NodeId, int> depotDownDepth_;
+};
+
+}  // namespace grads::reschedule

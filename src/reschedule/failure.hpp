@@ -10,19 +10,26 @@ namespace grads::reschedule {
 /// tolerance direction the paper's conclusions point at ("new capabilities,
 /// such as fault tolerance", §5, carried into VGrADS).
 ///
-/// At `failAt` the node is marked down in the GIS (schedulers stop placing
-/// work there). `detectionDelaySec` later — the heartbeat timeout — every
-/// registered RSS daemon whose application might run there is signaled;
-/// applications observe the signal at their next collective point, abandon
-/// the incarnation *without* writing a checkpoint (the failed node's memory
-/// is gone), and the application manager restarts them from the last
-/// periodic checkpoint on the surviving resources.
+/// At `failAt` the node becomes unreachable (launches onto it fail).
+/// `gisLagSec` later the GIS registration times out and the directory stops
+/// advertising the node — in the window between the two, schedulers see a
+/// stale entry and must survive the failed launch. `detectionDelaySec`
+/// after the failure — the heartbeat timeout — every registered RSS daemon
+/// whose application might run there is signaled; applications observe the
+/// signal at their next collective point, abandon the incarnation *without*
+/// writing a checkpoint (the failed node's memory is gone), and the
+/// application manager restarts them from the last periodic checkpoint on
+/// the surviving resources.
 ///
 /// Granularity note: the simulated fail-stop is observed at application
 /// iteration boundaries (our apps are cooperative coroutines), so at most
 /// one in-flight iteration of compute is charged beyond the failure
 /// instant; the *data* loss — everything since the last checkpoint — is
 /// modeled exactly.
+///
+/// Injection is idempotent: failing an already-down node neither
+/// double-counts failuresInjected() nor re-signals the RSS daemons, and
+/// recovering an up node is a no-op.
 class FailureInjector {
  public:
   FailureInjector(sim::Engine& engine, services::Gis& gis)
@@ -32,12 +39,21 @@ class FailureInjector {
   void watch(Rss& rss) { watched_.push_back(&rss); }
 
   /// Schedules a fail-stop of `node` at time `failAt` (absolute), detected
-  /// `detectionDelaySec` later.
+  /// `detectionDelaySec` later. `gisLagSec` is how long the GIS keeps
+  /// advertising the dead node (0 = directory learns instantly, the
+  /// pre-degraded-mode behavior).
   void scheduleNodeFailure(grid::NodeId node, sim::Time failAt,
-                           sim::Time detectionDelaySec = 5.0);
+                           sim::Time detectionDelaySec = 5.0,
+                           sim::Time gisLagSec = 0.0);
 
   /// Schedules the node's recovery (it rejoins the available pool).
   void scheduleNodeRecovery(grid::NodeId node, sim::Time at);
+
+  /// Immediate-effect entry points (used by the chaos driver, which does
+  /// its own event scheduling). Both are idempotent.
+  void failNow(grid::NodeId node, sim::Time detectionDelaySec,
+               sim::Time gisLagSec);
+  void recoverNow(grid::NodeId node);
 
   std::size_t failuresInjected() const { return failures_; }
 

@@ -37,6 +37,21 @@ void Rss::markFailure(grid::NodeId node) {
   failedNode_ = node;
 }
 
+void Rss::storeIteration(std::size_t it) {
+  storedIteration_ = it;
+  // The ledger is optimistic: a generation is recorded even if some rank's
+  // depot write failed — restorability is re-checked object-by-object at
+  // restart time (findRestorableGeneration).
+  checkpoints_[incarnation_] = CheckpointRecord{it, currentProcs_};
+}
+
+std::optional<Rss::CheckpointRecord> Rss::checkpointRecord(
+    int generation) const {
+  const auto it = checkpoints_.find(generation);
+  if (it == checkpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
 Srs::Srs(services::Ibp& ibp, Rss& rss, vmpi::World& world)
     : ibp_(&ibp), rss_(&rss), world_(&world) {}
 
@@ -56,9 +71,9 @@ double Srs::registeredBytes() const {
 }
 
 std::string Srs::objectKey(const std::string& app, const std::string& array,
-                           int rank, int incarnation) {
+                           int rank, int incarnation, bool replica) {
   return app + ".ckpt." + array + ".r" + std::to_string(rank) + ".i" +
-         std::to_string(incarnation);
+         std::to_string(incarnation) + (replica ? ".rep" : "");
 }
 
 sim::Task Srs::checkIfStop(int rank, bool* shouldStop) {
@@ -84,6 +99,7 @@ sim::Task Srs::writeCheckpoint(int rank) {
   const double t0 = world_->engine().now();
   if (writeStart_ < 0.0 || t0 < writeStart_) writeStart_ = t0;
   const grid::NodeId depot = stableDepot_ != grid::kNoId ? stableDepot_ : node;
+  bool allWritten = true;
   for (const auto& [array, info] : arrays_) {
     // This rank's exact block-cyclic share (block counts are generally not
     // divisible by p, so shares are unequal by up to one block).
@@ -91,19 +107,79 @@ sim::Task Srs::writeCheckpoint(int rank) {
         info.totalBytes / info.bytesPerElement + 0.5);
     const RedistributionPlan owned(p, 1, elements, info.blockElements,
                                    info.bytesPerElement);
-    co_await ibp_->put(objectKey(rss_->appName(), array, rank,
-                                 rss_->incarnation()),
-                       owned.bytes(rank, 0), depot, node);
+    const double bytes = owned.bytes(rank, 0);
+    // A dark depot must not kill the application mid-checkpoint: the write
+    // is skipped (this generation simply won't qualify at restore time) and
+    // the replica, if configured, still gets its copy.
+    bool primaryOk = false;
+    try {
+      co_await ibp_->put(
+          objectKey(rss_->appName(), array, rank, rss_->incarnation()), bytes,
+          depot, node);
+      primaryOk = true;
+    } catch (const services::DepotDownError&) {
+      GRADS_WARN("srs") << rss_->appName() << " rank " << rank
+                        << ": primary depot dark, checkpoint copy skipped";
+    }
+    bool replicaOk = false;
+    if (replicaDepot_ != grid::kNoId && replicaDepot_ != depot) {
+      try {
+        co_await ibp_->put(objectKey(rss_->appName(), array, rank,
+                                     rss_->incarnation(), /*replica=*/true),
+                           bytes, replicaDepot_, node);
+        replicaOk = true;
+      } catch (const services::DepotDownError&) {
+        GRADS_WARN("srs") << rss_->appName() << " rank " << rank
+                          << ": replica depot dark, mirror copy skipped";
+      }
+    }
+    allWritten = allWritten && (primaryOk || replicaOk);
   }
-  rss_->markCheckpoint();
+  if (allWritten) rss_->markCheckpoint();
   writeEnd_ = std::max(writeEnd_, world_->engine().now());
   GRADS_DEBUG("srs") << rss_->appName() << " rank " << rank
                      << ": checkpoint written";
 }
 
+sim::Task Srs::readSlice(const std::string& array, int sourceRank, int gen,
+                         double bytes, grid::NodeId toNode) {
+  const std::string primary =
+      objectKey(rss_->appName(), array, sourceRank, gen);
+  const std::string replica =
+      objectKey(rss_->appName(), array, sourceRank, gen, /*replica=*/true);
+  util::Retry retry(retry_, &retryRng_);
+  while (true) {
+    // Prefer whichever copy is readable right now (primary first: it is
+    // usually the closer depot).
+    const std::string* key = nullptr;
+    if (ibp_->readable(primary)) {
+      key = &primary;
+    } else if (ibp_->readable(replica)) {
+      key = &replica;
+    }
+    if (key != nullptr) {
+      co_await ibp_->getSlice(*key, bytes, toNode);
+      co_return;
+    }
+    const auto delay = retry.nextDelaySec();
+    if (!delay) {
+      throw CheckpointUnavailableError(
+          "checkpoint slice " + primary + " unreadable after " +
+          std::to_string(retry.attemptsUsed() + 1) + " attempts");
+    }
+    GRADS_DEBUG("srs") << rss_->appName() << ": slice " << primary
+                       << " unreadable, retrying in " << *delay << " s";
+    co_await sim::sleepFor(world_->engine(), *delay);
+  }
+}
+
 sim::Task Srs::restoreCheckpoint(int rank) {
   GRADS_REQUIRE(rss_->hasCheckpoint(), "Srs::restoreCheckpoint: no checkpoint");
-  const int oldP = rss_->previousProcs();
+  const int gen = restoreGen_ > 0 ? restoreGen_ : rss_->incarnation() - 1;
+  // The generation's own rank count (an older generation may have been
+  // written by a different incarnation width than the previous one).
+  const auto record = rss_->checkpointRecord(gen);
+  const int oldP = record ? record->procs : rss_->previousProcs();
   GRADS_REQUIRE(oldP > 0, "Srs::restoreCheckpoint: no previous incarnation");
   const int newP = world_->size();
   const grid::NodeId node = world_->nodeOf(rank);
@@ -112,7 +188,9 @@ sim::Task Srs::restoreCheckpoint(int rank) {
   // Block-cyclic N-to-M redistribution: the exact per-pair volumes come
   // from the block-ownership intersection (RedistributionPlan); this rank
   // pulls its slices from every old depot holding part of its new share
-  // (mostly across the WAN).
+  // (mostly across the WAN). Each slice read retries with backoff and falls
+  // back to the replica copy; only when both copies stay unreadable past
+  // the retry budget does CheckpointUnavailableError escape to the manager.
   for (const auto& [array, info] : arrays_) {
     const auto elements = static_cast<std::size_t>(
         info.totalBytes / info.bytesPerElement + 0.5);
@@ -121,16 +199,35 @@ sim::Task Srs::restoreCheckpoint(int rank) {
     for (int o = 0; o < oldP; ++o) {
       const double slice = plan.bytes(o, rank);
       if (slice <= 0.0) continue;
-      co_await ibp_->getSlice(
-          objectKey(rss_->appName(), array, o, rss_->incarnation() - 1), slice,
-          node);
+      co_await readSlice(array, o, gen, slice, node);
     }
   }
   restored_ = true;
   readEnd_ = std::max(readEnd_, world_->engine().now());
   GRADS_DEBUG("srs") << rss_->appName() << " rank " << rank
-                     << ": checkpoint restored (" << oldP << " -> " << newP
-                     << " procs)";
+                     << ": checkpoint restored (gen " << gen << ", " << oldP
+                     << " -> " << newP << " procs)";
+}
+
+std::optional<int> findRestorableGeneration(
+    const services::Ibp& ibp, const Rss& rss,
+    const std::vector<std::string>& arrays) {
+  for (int gen = rss.incarnation(); gen >= 1; --gen) {
+    const auto record = rss.checkpointRecord(gen);
+    if (!record) continue;
+    bool complete = true;
+    for (const auto& array : arrays) {
+      for (int r = 0; r < record->procs && complete; ++r) {
+        complete =
+            ibp.readable(Srs::objectKey(rss.appName(), array, r, gen)) ||
+            ibp.readable(
+                Srs::objectKey(rss.appName(), array, r, gen, /*replica=*/true));
+      }
+      if (!complete) break;
+    }
+    if (complete) return gen;
+  }
+  return std::nullopt;
 }
 
 }  // namespace grads::reschedule

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -8,9 +9,19 @@
 #include "services/ibp.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
+#include "util/retry.hpp"
 #include "vmpi/world.hpp"
 
 namespace grads::reschedule {
+
+/// Raised by Srs::restoreCheckpoint when a checkpoint slice cannot be read
+/// even after bounded retries and the replica fallback. The application
+/// manager treats the incarnation as lost and restarts from an older
+/// generation or from scratch — it must not crash the run.
+class CheckpointUnavailableError : public Error {
+ public:
+  explicit CheckpointUnavailableError(const std::string& what) : Error(what) {}
+};
 
 /// The Runtime Support System daemon (paper §4.1.1): lives for the whole
 /// application execution, spans migrations, and mediates between external
@@ -40,11 +51,22 @@ class Rss {
   int incarnation() const { return incarnation_; }
   int previousProcs() const { return previousProcs_; }
 
-  void storeIteration(std::size_t it) { storedIteration_ = it; }
+  void storeIteration(std::size_t it);
   std::size_t storedIteration() const { return storedIteration_; }
 
   bool hasCheckpoint() const { return hasCheckpoint_; }
   void markCheckpoint() { hasCheckpoint_ = true; }
+
+  /// Per-generation checkpoint ledger (generation == the incarnation that
+  /// wrote it). Restores that find the newest generation unreadable (depot
+  /// dark, object lost) walk back to an older one — so the resume iteration
+  /// and rank count must be recorded per generation, not just "latest".
+  struct CheckpointRecord {
+    std::size_t iteration = 0;
+    int procs = 0;
+  };
+  std::optional<CheckpointRecord> checkpointRecord(int generation) const;
+  int currentProcs() const { return currentProcs_; }
 
  private:
   sim::Engine* engine_;
@@ -57,6 +79,7 @@ class Rss {
   int currentProcs_ = 0;
   std::size_t storedIteration_ = 0;
   bool hasCheckpoint_ = false;
+  std::map<int, CheckpointRecord> checkpoints_;
 };
 
 /// SRS — Stop Restart Software [22]: user-level checkpointing atop MPI.
@@ -80,6 +103,19 @@ class Srs {
   /// local depot with it, whereas migration-only checkpoints (the paper's
   /// §4.1 usage) can stay local and cheap.
   void setStableDepot(grid::NodeId node) { stableDepot_ = node; }
+  /// Mirrors every checkpoint object to a second (remote) depot so a single
+  /// depot outage cannot strand the application: restores fall back to the
+  /// replica when the primary is dark.
+  void setReplicaDepot(grid::NodeId node) { replicaDepot_ = node; }
+  /// Retry policy + jitter source for depot reads/writes during restore.
+  void setRetryPolicy(util::RetryPolicy policy, std::uint64_t jitterSeed) {
+    retry_ = policy;
+    retryRng_ = Rng(jitterSeed);
+  }
+  /// Pins the generation restoreCheckpoint() reads (normally the previous
+  /// incarnation). The application manager sets this after pre-flighting
+  /// which generations are currently readable.
+  void setRestoreGeneration(int generation) { restoreGen_ = generation; }
   double registeredBytes() const;
 
   /// Stop-point poll: if the rescheduler requested a stop, writes this
@@ -113,10 +149,15 @@ class Srs {
   double writeSpanSeconds() const;
   double readSpanSeconds() const;
 
- private:
+  /// Canonical IBP key of a checkpoint object; `replica` selects the
+  /// mirrored copy.
   static std::string objectKey(const std::string& app,
                                const std::string& array, int rank,
-                               int incarnation);
+                               int incarnation, bool replica = false);
+
+ private:
+  sim::Task readSlice(const std::string& array, int sourceRank, int gen,
+                      double bytes, grid::NodeId toNode);
 
   struct ArrayInfo {
     double totalBytes = 0.0;
@@ -129,11 +170,24 @@ class Srs {
   vmpi::World* world_;
   std::map<std::string, ArrayInfo> arrays_;
   grid::NodeId stableDepot_ = grid::kNoId;
+  grid::NodeId replicaDepot_ = grid::kNoId;
+  util::RetryPolicy retry_ = util::RetryPolicy::none();
+  Rng retryRng_{0x5c5eedULL};
+  int restoreGen_ = 0;  ///< 0 = previous incarnation
   bool restored_ = false;
   double writeStart_ = -1.0;
   double writeEnd_ = -1.0;
   double readStart_ = -1.0;
   double readEnd_ = -1.0;
 };
+
+/// Pre-flight for a restart: the newest checkpoint generation recorded in
+/// the RSS ledger whose every object (for all ranks and arrays of that
+/// generation) is currently readable — on its primary depot or, failing
+/// that, its replica. Returns nullopt when no generation qualifies (restart
+/// from scratch). `arrays` are the registered checkpoint array names.
+std::optional<int> findRestorableGeneration(
+    const services::Ibp& ibp, const Rss& rss,
+    const std::vector<std::string>& arrays);
 
 }  // namespace grads::reschedule

@@ -38,7 +38,13 @@ double SwapManager::nodeRate(grid::NodeId node) const {
   const auto& m = world_->mapping();
   const bool active = std::find(m.begin(), m.end(), node) != m.end();
   if (nws_ != nullptr) {
-    return active ? nws_->incumbentRate(node) : nws_->effectiveRate(node);
+    // Dark-sensor fallback: rate the node from its static spec (full
+    // availability) rather than failing the swap evaluation.
+    const auto measured =
+        active ? nws_->tryIncumbentRate(node) : nws_->tryEffectiveRate(node);
+    if (measured) return *measured;
+    const auto& n = world_->grid().node(node);
+    return n.spec().effectiveFlopsPerCpu();
   }
   const auto& n = world_->grid().node(node);
   const double avail =
@@ -97,9 +103,11 @@ void SwapManager::evaluate() {
       for (int r = 0; r < world_->size(); ++r) {
         const grid::NodeId cur = mapping[static_cast<std::size_t>(r)];
         const auto& node = world_->grid().node(cur);
-        const double avail = nws_ != nullptr
-                                 ? nws_->incumbentAvailability(cur)
-                                 : node.incumbentAvailability();
+        const double avail =
+            nws_ != nullptr
+                ? nws_->tryIncumbentAvailability(cur).value_or(
+                      node.incumbentAvailability())
+                : node.incumbentAvailability();
         if (avail >= cfg_.degradeThreshold) continue;
         grid::NodeId best = grid::kNoId;
         double bestRate = nodeRate(cur) * cfg_.improveMargin;

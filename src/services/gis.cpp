@@ -63,6 +63,19 @@ void Gis::setNodeUp(grid::NodeId node, bool up) {
 
 bool Gis::isNodeUp(grid::NodeId node) const { return down_.count(node) == 0; }
 
+void Gis::setNodeReachable(grid::NodeId node, bool reachable) {
+  GRADS_REQUIRE(node < grid_->nodeCount(), "Gis: unknown node");
+  if (reachable) {
+    unreachable_.erase(node);
+  } else {
+    unreachable_.insert(node);
+  }
+}
+
+bool Gis::isNodeReachable(grid::NodeId node) const {
+  return unreachable_.count(node) == 0;
+}
+
 std::vector<grid::NodeId> Gis::availableNodes() const {
   std::vector<grid::NodeId> out;
   for (grid::NodeId id = 0; id < grid_->nodeCount(); ++id) {

@@ -44,12 +44,20 @@ class Gis {
       const std::vector<std::string>& packages,
       std::optional<grid::Arch> arch = std::nullopt) const;
 
-  /// Marks a node up/down; down nodes are excluded from discovery.
+  /// Marks a node up/down in the *directory*; down nodes are excluded from
+  /// discovery. This is the reported state — what schedulers see.
   void setNodeUp(grid::NodeId node, bool up);
   bool isNodeUp(grid::NodeId node) const;
 
+  /// Ground truth, which the directory may lag behind: a fail-stopped node
+  /// is unreachable immediately, while the GIS keeps advertising it until
+  /// its registration times out. Launching onto a reachable==false node
+  /// fails (the stale-GIS failure mode).
+  void setNodeReachable(grid::NodeId node, bool reachable);
+  bool isNodeReachable(grid::NodeId node) const;
+
   /// All currently-available nodes ("determine which resources are
-  /// available", paper §1).
+  /// available", paper §1) — per the directory, stale entries included.
   std::vector<grid::NodeId> availableNodes() const;
 
   const grid::Grid& grid() const { return *grid_; }
@@ -57,7 +65,8 @@ class Gis {
  private:
   const grid::Grid* grid_;
   std::map<grid::NodeId, std::map<std::string, std::string>> software_;
-  std::set<grid::NodeId> down_;
+  std::set<grid::NodeId> down_;         ///< reported (directory) state
+  std::set<grid::NodeId> unreachable_;  ///< actual state
 };
 
 }  // namespace grads::services

@@ -20,10 +20,36 @@ sim::PsResource& Ibp::diskFor(grid::NodeId node) {
   return *it->second;
 }
 
+void Ibp::setDepotUp(grid::NodeId node, bool up) {
+  GRADS_REQUIRE(node < grid_->nodeCount(), "Ibp::setDepotUp: unknown node");
+  if (up) {
+    downDepots_.erase(node);
+  } else {
+    downDepots_.insert(node);
+  }
+}
+
+bool Ibp::isDepotUp(grid::NodeId node) const {
+  return downDepots_.count(node) == 0;
+}
+
+bool Ibp::readable(const std::string& key) const {
+  const auto it = objects_.find(key);
+  return it != objects_.end() && isDepotUp(it->second.node);
+}
+
+void Ibp::requireDepotUp(grid::NodeId node, const char* op) const {
+  if (!isDepotUp(node)) {
+    throw DepotDownError(std::string("Ibp::") + op + ": depot on " +
+                         grid_->node(node).name() + " is down");
+  }
+}
+
 sim::Task Ibp::put(const std::string& key, double bytes, grid::NodeId atNode,
                    grid::NodeId fromNode) {
   GRADS_REQUIRE(bytes >= 0.0, "Ibp::put: negative size");
   GRADS_REQUIRE(atNode < grid_->nodeCount(), "Ibp::put: unknown node");
+  requireDepotUp(atNode, "put");
   if (fromNode != grid::kNoId && fromNode != atNode) {
     GRADS_REQUIRE(fromNode < grid_->nodeCount(), "Ibp::put: unknown source");
     co_await grid_->transfer(fromNode, atNode, bytes);
@@ -39,6 +65,7 @@ sim::Task Ibp::getSlice(const std::string& key, double bytes,
   GRADS_REQUIRE(bytes <= it->second.bytes + 1e-6,
                 "Ibp::getSlice: slice larger than object");
   const grid::NodeId from = it->second.node;
+  requireDepotUp(from, "get");
   // Disk read and network transfer overlap poorly at this scale; model them
   // as sequential stages (disk is rarely the bottleneck for remote reads).
   co_await diskFor(from).consume(bytes);

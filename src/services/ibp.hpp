@@ -2,13 +2,23 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "grid/grid.hpp"
 #include "sim/ps_resource.hpp"
 #include "sim/task.hpp"
+#include "util/error.hpp"
 
 namespace grads::services {
+
+/// Raised when an IBP operation targets a depot that is down. Transient by
+/// design: depots come back, so checkpoint readers retry with backoff and
+/// then fall back to a replica or an older checkpoint generation.
+class DepotDownError : public Error {
+ public:
+  explicit DepotDownError(const std::string& what) : Error(what) {}
+};
 
 /// Internet Backplane Protocol storage fabric: one depot per node, backed by
 /// the node's local disk. SRS writes checkpoints to the *local* depot (fast,
@@ -43,8 +53,17 @@ class Ibp {
   void remove(const std::string& key);
   std::size_t objectCount() const { return objects_.size(); }
 
+  /// Depot outage state: operations against a down depot throw
+  /// DepotDownError. Objects survive the outage (the disk is intact; the
+  /// service is unreachable) and are readable again after recovery.
+  void setDepotUp(grid::NodeId node, bool up);
+  bool isDepotUp(grid::NodeId node) const;
+  /// exists(key) && the depot holding it is currently up.
+  bool readable(const std::string& key) const;
+
  private:
   sim::PsResource& diskFor(grid::NodeId node);
+  void requireDepotUp(grid::NodeId node, const char* op) const;
 
   struct Object {
     double bytes = 0.0;
@@ -54,6 +73,7 @@ class Ibp {
   grid::Grid* grid_;
   std::map<grid::NodeId, std::unique_ptr<sim::PsResource>> disks_;
   std::map<std::string, Object> objects_;
+  std::set<grid::NodeId> downDepots_;
 };
 
 }  // namespace grads::services

@@ -213,7 +213,8 @@ Nws::Nws(sim::Engine& engine, grid::Grid& grid, double periodSec,
       grid_(&grid),
       period_(periodSec),
       noise_(relativeNoise),
-      rng_(seed) {
+      rng_(seed),
+      staleAfter_(3.0 * periodSec) {
   GRADS_REQUIRE(periodSec > 0.0, "Nws: period must be positive");
   GRADS_REQUIRE(relativeNoise >= 0.0, "Nws: negative noise");
 }
@@ -224,8 +225,19 @@ void Nws::start() {
   sampleAll();  // take an immediate reading, then rearm periodically
 }
 
+double Nws::lastSampleAgeSec() const {
+  if (lastSample_ < 0.0) return std::numeric_limits<double>::infinity();
+  return engine_->now() - lastSample_;
+}
+
 void Nws::sampleAll() {
   if (!running_) return;
+  if (dark_) {
+    // Outage: the sensor sweep produces nothing, but the daemon survives
+    // and resumes measuring once the outage lifts.
+    engine_->scheduleDaemon(period_, [this] { sampleAll(); });
+    return;
+  }
   for (grid::NodeId id = 0; id < grid_->nodeCount(); ++id) {
     const double truth = grid_->node(id).cpuAvailability();
     const double measured =
@@ -243,7 +255,63 @@ void Nws::sampleAll() {
     bw_[lid].addMeasurement(measured);
   }
   ++samples_;
+  lastSample_ = engine_->now();
   engine_->scheduleDaemon(period_, [this] { sampleAll(); });
+}
+
+std::optional<double> Nws::serve(
+    const std::map<grid::NodeId, ForecasterBattery>& series,
+    grid::NodeId key) const {
+  const auto it = series.find(key);
+  if (it == series.end() || it->second.measurements() == 0) {
+    return std::nullopt;
+  }
+  // Fresh series: the battery's best forecast. Stale series (sensor dark
+  // for a while): the battery's model fits are aging, so serve the raw
+  // last-known measurement — the middle rung of the degradation ladder.
+  return stale() ? it->second.lastValue() : it->second.forecast();
+}
+
+std::optional<double> Nws::tryCpuAvailability(grid::NodeId node) const {
+  return serve(cpu_, node);
+}
+
+std::optional<double> Nws::tryIncumbentAvailability(grid::NodeId node) const {
+  return serve(incumbent_, node);
+}
+
+std::optional<double> Nws::tryBandwidth(grid::LinkId link) const {
+  return serve(bw_, link);
+}
+
+std::optional<double> Nws::tryEffectiveRate(grid::NodeId node) const {
+  const auto avail = tryCpuAvailability(node);
+  if (!avail) return std::nullopt;
+  return *avail * grid_->node(node).spec().effectiveFlopsPerCpu();
+}
+
+std::optional<double> Nws::tryIncumbentRate(grid::NodeId node) const {
+  const auto avail = tryIncumbentAvailability(node);
+  if (!avail) return std::nullopt;
+  return *avail * grid_->node(node).spec().effectiveFlopsPerCpu();
+}
+
+double Nws::transferTimeDegraded(grid::NodeId src, grid::NodeId dst,
+                                 double bytes) const {
+  const auto route = grid_->route(src, dst);
+  if (route.links.empty()) return 0.0;
+  double minBw = std::numeric_limits<double>::infinity();
+  for (const auto lid : route.links) {
+    const auto measured = tryBandwidth(lid);
+    const double b = measured ? *measured
+                              : std::min(grid_->link(lid).spec()
+                                             .bandwidthBytesPerSec,
+                                         grid_->link(lid).spec()
+                                             .perFlowCapBytesPerSec);
+    minBw = std::min(minBw, b);
+  }
+  if (minBw <= 0.0) return std::numeric_limits<double>::infinity();
+  return route.latencySec + bytes / minBw;
 }
 
 double Nws::cpuAvailability(grid::NodeId node) const {

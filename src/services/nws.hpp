@@ -3,6 +3,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,20 @@ class Nws {
   void start();
   void stop() { running_ = false; }
 
+  /// Sensor outage: while dark the daemon keeps ticking but records
+  /// nothing, so forecasts age and eventually go stale. Consumers that use
+  /// the try* accessors degrade instead of failing.
+  void setDark(bool dark) { dark_ = dark; }
+  bool dark() const { return dark_; }
+
+  /// Seconds since the last successful measurement sweep (infinity before
+  /// the first one).
+  double lastSampleAgeSec() const;
+  /// Forecasts older than this are served as raw last-known values instead
+  /// of battery forecasts (the middle rung of live -> last-known -> static).
+  void setStaleAfterSec(double sec) { staleAfter_ = sec; }
+  bool stale() const { return lastSampleAgeSec() > staleAfter_; }
+
   /// Forecast CPU availability (fraction of one CPU) for a *new* process.
   double cpuAvailability(grid::NodeId node) const;
   /// Forecast share (fraction of one CPU) an *incumbent* process keeps.
@@ -81,6 +96,20 @@ class Nws {
   double bandwidth(grid::LinkId link) const;
   /// Measured latency of a link (assumed stable; sensed once).
   double latency(grid::LinkId link) const;
+
+  /// Degraded-mode accessors: like the throwing variants, but serve raw
+  /// last-known values once the series is stale and return nullopt when no
+  /// measurement was ever taken (callers fall back to static node specs).
+  std::optional<double> tryCpuAvailability(grid::NodeId node) const;
+  std::optional<double> tryIncumbentAvailability(grid::NodeId node) const;
+  std::optional<double> tryBandwidth(grid::LinkId link) const;
+  /// Degraded effectiveRate()/incumbentRate(): nullopt when dark so long
+  /// that nothing was ever measured for the node.
+  std::optional<double> tryEffectiveRate(grid::NodeId node) const;
+  std::optional<double> tryIncumbentRate(grid::NodeId node) const;
+  /// Degraded transferTime(): falls back to link specs for unmeasured links.
+  double transferTimeDegraded(grid::NodeId src, grid::NodeId dst,
+                              double bytes) const;
 
   /// Forecast end-to-end transfer time for `bytes` between two nodes using
   /// current link forecasts (bottleneck model).
@@ -95,6 +124,9 @@ class Nws {
 
  private:
   void sampleAll();
+  std::optional<double> serve(const std::map<grid::NodeId, ForecasterBattery>&
+                                  series,
+                              grid::NodeId key) const;
 
   sim::Engine* engine_;
   grid::Grid* grid_;
@@ -102,6 +134,9 @@ class Nws {
   double noise_;
   Rng rng_;
   bool running_ = false;
+  bool dark_ = false;
+  double staleAfter_;
+  double lastSample_ = -1.0;
   std::size_t samples_ = 0;
   std::map<grid::NodeId, ForecasterBattery> cpu_;
   std::map<grid::NodeId, ForecasterBattery> incumbent_;

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace grads::util {
+
+/// Bounded-retry policy with exponential backoff and jitter.
+///
+/// Every Grid-facing operation in a degraded-mode run (launching on a node
+/// the GIS may be wrong about, pulling a checkpoint slice from a depot that
+/// may be dark, moving data over a link that may be partitioned) retries
+/// under one of these policies instead of failing on first error. Delays are
+/// simulated time (callers sleep on the sim::Engine), and jitter draws from
+/// an explicitly seeded Rng, so campaigns stay exactly repeatable.
+struct RetryPolicy {
+  int maxAttempts = 4;          ///< total tries, including the first
+  double baseDelaySec = 2.0;    ///< delay before the second attempt
+  double backoffFactor = 2.0;   ///< multiplier per further attempt
+  double maxDelaySec = 120.0;   ///< backoff ceiling
+  double jitterFrac = 0.1;      ///< uniform ±fraction of the delay
+
+  /// Backoff delay after failed attempt `attempt` (0-based). `rng` may be
+  /// null for jitter-free delays.
+  double delaySec(int attempt, Rng* rng) const;
+
+  /// A policy that never retries (the mitigation-off ablation).
+  static RetryPolicy none() {
+    RetryPolicy p;
+    p.maxAttempts = 1;
+    return p;
+  }
+};
+
+/// Per-operation retry state:
+///
+///   util::Retry retry(policy, &rng);
+///   while (true) {
+///     try { co_await op(); break; }
+///     catch (const SomeTransientError&) {
+///       const auto delay = retry.nextDelaySec();
+///       if (!delay) throw;                    // attempts exhausted
+///       co_await sim::sleepFor(eng, *delay);
+///     }
+///   }
+class Retry {
+ public:
+  explicit Retry(const RetryPolicy& policy, Rng* rng = nullptr)
+      : policy_(policy), rng_(rng) {
+    GRADS_REQUIRE(policy.maxAttempts >= 1, "RetryPolicy: need >= 1 attempt");
+  }
+
+  /// Called after a failed attempt: the backoff delay before the next try,
+  /// or nullopt when the attempt budget is exhausted.
+  std::optional<double> nextDelaySec() {
+    if (attempt_ + 1 >= policy_.maxAttempts) return std::nullopt;
+    return policy_.delaySec(attempt_++, rng_);
+  }
+
+  /// Failed attempts recorded so far (== nextDelaySec() calls that granted
+  /// a retry).
+  int attemptsUsed() const { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng* rng_;
+  int attempt_ = 0;
+};
+
+inline double RetryPolicy::delaySec(int attempt, Rng* rng) const {
+  double d = baseDelaySec;
+  for (int i = 0; i < attempt; ++i) d *= backoffFactor;
+  if (d > maxDelaySec) d = maxDelaySec;
+  if (rng != nullptr && jitterFrac > 0.0) {
+    d *= 1.0 + rng->uniform(-jitterFrac, jitterFrac);
+  }
+  return d < 0.0 ? 0.0 : d;
+}
+
+}  // namespace grads::util

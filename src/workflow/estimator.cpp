@@ -26,9 +26,14 @@ double GridEstimator::ecost(const Component& c, grid::NodeId node) const {
   }
   if (nws_ != nullptr) {
     // Scale by forecast CPU availability (contended nodes look slower).
-    const double avail = nws_->cpuAvailability(node);
-    if (avail <= 0.0) return kInfeasible;
-    seconds /= avail;
+    // Degradation ladder: live forecast -> last-known value (served by the
+    // NWS once its series go stale) -> static specs (no measurement at all,
+    // e.g. the sensors have been dark since the run started).
+    const auto avail = nws_->tryCpuAvailability(node);
+    if (avail) {
+      if (*avail <= 0.0) return kInfeasible;
+      seconds /= *avail;
+    }
   }
   return seconds;
 }
@@ -36,7 +41,7 @@ double GridEstimator::ecost(const Component& c, grid::NodeId node) const {
 double GridEstimator::transferCost(grid::NodeId from, grid::NodeId to,
                                    double bytes) const {
   if (from == to || bytes <= 0.0) return 0.0;
-  if (nws_ != nullptr) return nws_->transferTime(from, to, bytes);
+  if (nws_ != nullptr) return nws_->transferTimeDegraded(from, to, bytes);
   return gis_->grid().transferEstimate(from, to, bytes);
 }
 

@@ -1,5 +1,6 @@
 #include "workflow/executor.hpp"
 
+#include <exception>
 #include <map>
 
 #include "util/error.hpp"
@@ -24,6 +25,9 @@ struct WorkflowExecutor::RunState {
   std::vector<ComponentRun> runs;
   int rescheduleRounds = 0;
   bool finished = false;
+  Rng retryRng{0};
+  int launchFailures = 0;
+  int transferRetries = 0;
 };
 
 WorkflowExecutor::WorkflowExecutor(grid::Grid& grid, const services::Gis& gis,
@@ -43,7 +47,49 @@ sim::Task WorkflowExecutor::runComponent(const Dag& dag, ComponentId c,
 
   // Placement is pinned the moment the component starts.
   state.started[c] = true;
-  const grid::NodeId node = state.placement[c];
+  grid::NodeId node = state.placement[c];
+
+  // Launch-time reachability check: the scheduler placed this component off
+  // a GIS directory that may be stale. When the target is in truth dead,
+  // remap to the cheapest feasible reachable node; when nothing at all is
+  // reachable, back off and re-poll (bounded) before giving up.
+  if (state.options.faultTolerant && !gis_->isNodeReachable(node)) {
+    util::Retry retry(state.options.retry, &state.retryRng);
+    GridEstimator estimator(*gis_, nws_);
+    while (!gis_->isNodeReachable(node)) {
+      ++state.launchFailures;
+      grid::NodeId pick = grid::kNoId;
+      double best = kInfeasible;
+      for (const auto cand : gis_->availableNodes()) {
+        if (!gis_->isNodeReachable(cand)) continue;
+        const double cost = estimator.ecost(dag.component(c), cand);
+        if (cost < best) {
+          best = cost;
+          pick = cand;
+        }
+      }
+      if (pick != grid::kNoId) {
+        GRADS_WARN("wf-exec") << "component " << c << ": node "
+                              << grid_->node(node).name()
+                              << " unreachable at launch, remapped to "
+                              << grid_->node(pick).name();
+        node = pick;
+        state.placement[c] = pick;
+        break;
+      }
+      const auto delay = retry.nextDelaySec();
+      if (!delay) {
+        throw Error("workflow component " + std::to_string(c) +
+                    ": no reachable resources after " +
+                    std::to_string(retry.attemptsUsed() + 1) + " attempts");
+      }
+      GRADS_WARN("wf-exec") << "component " << c
+                            << ": no reachable resources, retrying in "
+                            << *delay << " s";
+      co_await sim::sleepFor(grid_->engine(), *delay);
+    }
+  }
+
   run.node = node;
   run.remapped = node != state.initialPlacement[c];
   run.start = run.ready;
@@ -51,8 +97,28 @@ sim::Task WorkflowExecutor::runComponent(const Dag& dag, ComponentId c,
   // Pull inputs from wherever the predecessors actually ran.
   for (const auto& e : dag.inEdges(c)) {
     const grid::NodeId from = state.runs[e.from].node;
-    if (from != node && e.bytes > 0.0) {
+    if (from == node || e.bytes <= 0.0) continue;
+    if (!state.options.faultTolerant) {
       co_await grid_->transfer(from, node, e.bytes);
+      continue;
+    }
+    // A partitioned link throws before consuming bandwidth; retry with
+    // backoff until the partition heals or the budget runs out.
+    // (co_await is not allowed inside a handler, hence the exception_ptr.)
+    util::Retry retry(state.options.retry, &state.retryRng);
+    while (true) {
+      std::exception_ptr linkError;
+      try {
+        co_await grid_->transfer(from, node, e.bytes);
+        break;
+      } catch (const grid::LinkDownError& ex) {
+        linkError = std::current_exception();
+        GRADS_WARN("wf-exec") << "component " << c << ": " << ex.what();
+      }
+      const auto delay = retry.nextDelaySec();
+      if (!delay) std::rethrow_exception(linkError);
+      ++state.transferRetries;
+      co_await sim::sleepFor(grid_->engine(), *delay);
     }
   }
 
@@ -129,6 +195,7 @@ sim::Task WorkflowExecutor::execute(const Dag& dag, ExecutionOptions options,
   RunState state(eng, dag.size());
   state.options = options;
   state.started.assign(dag.size(), false);
+  state.retryRng = Rng(options.retrySeed);
 
   // Initial schedule from current NWS information.
   GridEstimator estimator(*gis_, nws_);
@@ -166,6 +233,8 @@ sim::Task WorkflowExecutor::execute(const Dag& dag, ExecutionOptions options,
     result->makespan = eng.now() - t0;
     result->staticEstimate = initial.makespan;
     result->rescheduleRounds = state.rescheduleRounds;
+    result->launchFailures = state.launchFailures;
+    result->transferRetries = state.transferRetries;
     result->remappedComponents = 0;
     for (const auto& r : result->runs) {
       if (r.remapped) ++result->remappedComponents;

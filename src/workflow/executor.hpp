@@ -4,6 +4,7 @@
 #include "services/gis.hpp"
 #include "services/nws.hpp"
 #include "sim/sync.hpp"
+#include "util/retry.hpp"
 #include "workflow/scheduler.hpp"
 
 namespace grads::workflow {
@@ -23,6 +24,14 @@ struct ExecutionOptions {
   double improveMargin = 1.05;
   /// Autopilot channel for per-component completion sensors ("" = off).
   std::string sensorChannel;
+
+  /// Degraded-mode execution: re-check that a component's target node is
+  /// actually reachable at launch time (the GIS directory may be stale) and
+  /// remap to the cheapest feasible alternate when it is not; retry input
+  /// transfers that hit a partitioned link with bounded backoff.
+  bool faultTolerant = false;
+  util::RetryPolicy retry;
+  std::uint64_t retrySeed = 0xfa417ULL;  ///< jitter Rng seed (deterministic)
 };
 
 struct ComponentRun {
@@ -40,6 +49,8 @@ struct ExecutionResult {
   double staticEstimate = 0.0;  ///< the initial schedule's predicted makespan
   int remappedComponents = 0;
   int rescheduleRounds = 0;
+  int launchFailures = 0;   ///< stale-GIS targets caught at launch time
+  int transferRetries = 0;  ///< input transfers re-tried after LinkDownError
 };
 
 /// Executes a workflow DAG on the grid: components run as simulated

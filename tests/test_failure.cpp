@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
 #include "grid/testbeds.hpp"
 #include "reschedule/failure.hpp"
+#include "reschedule/rescheduler.hpp"
 #include "services/ibp.hpp"
 #include "services/nws.hpp"
 
@@ -93,6 +96,117 @@ TEST(FailureInjector, BeginIncarnationClearsSignal) {
   EXPECT_FALSE(rss.failureSignaled());
 }
 
+TEST(FailureInjector, DoubleFailureIsIdempotent) {
+  Fixture f;
+  Rss rss(f.eng, "app");
+  rss.beginIncarnation(4);
+  f.injector->watch(rss);
+  f.injector->failNow(f.tb.utkNodes[2], 5.0, 0.0);
+  f.eng.runUntil(10.0);
+  EXPECT_TRUE(rss.failureSignaled());
+  EXPECT_EQ(f.injector->failuresInjected(), 1u);
+  rss.beginIncarnation(4);  // restart clears the signal
+  // Failing an already-down node is a no-op: no double count, no re-signal.
+  f.injector->failNow(f.tb.utkNodes[2], 5.0, 0.0);
+  f.eng.runUntil(20.0);
+  EXPECT_FALSE(rss.failureSignaled());
+  EXPECT_EQ(f.injector->failuresInjected(), 1u);
+}
+
+TEST(FailureInjector, RecoveringAnUpNodeIsANoOp) {
+  Fixture f;
+  // Administratively drained (directory-down) but reachable: the node never
+  // failed, so recoverNow must not resurrect its directory entry.
+  f.gis->setNodeUp(f.tb.utkNodes[3], false);
+  f.injector->recoverNow(f.tb.utkNodes[3]);
+  EXPECT_FALSE(f.gis->isNodeUp(f.tb.utkNodes[3]));
+  EXPECT_TRUE(f.gis->isNodeReachable(f.tb.utkNodes[3]));
+}
+
+TEST(Recovery, RecoveredNodeRejoinsAvailablePool) {
+  Fixture f;
+  const auto node = f.tb.uiucNodes[2];
+  f.injector->scheduleNodeFailure(node, 10.0, 5.0);
+  f.injector->scheduleNodeRecovery(node, 80.0);
+  f.eng.runUntil(40.0);
+  auto avail = f.gis->availableNodes();
+  EXPECT_EQ(std::count(avail.begin(), avail.end(), node), 0);
+  f.eng.runUntil(100.0);
+  avail = f.gis->availableNodes();
+  EXPECT_EQ(std::count(avail.begin(), avail.end(), node), 1);
+  EXPECT_TRUE(f.gis->isNodeReachable(node));
+}
+
+TEST(Recovery, SchedulerReselectsRecoveredCluster) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 12000;
+  const core::Cop cop = apps::makeQrCop(f.g, cfg);
+  std::vector<grid::NodeId> mapping;  // the app sits on loaded UTK
+  for (const auto id : f.tb.utkNodes) {
+    mapping.push_back(id);
+    mapping.push_back(id);
+  }
+  f.g.node(f.tb.utkNodes[0]).injectLoad(4.0);
+  // The whole UIUC cluster fails: the directory stops offering it.
+  for (const auto id : f.tb.uiucNodes) {
+    f.injector->scheduleNodeFailure(id, 5.0, 5.0);
+  }
+  f.eng.runUntil(60.0);
+  StopRestartRescheduler r(*f.gis, f.nws.get(), ReschedulerOptions{});
+  EXPECT_FALSE(r.evaluate(cop, mapping, 5).migrate);  // nowhere better to go
+  // The cluster recovers; once NWS has fresh samples the scheduler selects
+  // the recovered nodes again.
+  for (const auto id : f.tb.uiucNodes) {
+    f.injector->scheduleNodeRecovery(id, 70.0);
+  }
+  f.eng.runUntil(160.0);
+  const auto d = r.evaluate(cop, mapping, 5);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(f.g.node(d.target[0]).cluster(), f.tb.uiuc);
+}
+
+TEST(Recovery, OpportunisticReschedulingUsesRecoveredNodes) {
+  Fixture f;
+  apps::QrConfig cfg;
+  cfg.n = 12000;
+  const core::Cop cop = apps::makeQrCop(f.g, cfg);
+  std::vector<grid::NodeId> mapping;
+  for (const auto id : f.tb.utkNodes) {
+    mapping.push_back(id);
+    mapping.push_back(id);
+  }
+  f.g.node(f.tb.utkNodes[0]).injectLoad(4.0);
+  for (const auto id : f.tb.uiucNodes) {
+    f.injector->scheduleNodeFailure(id, 5.0, 5.0);
+  }
+  f.eng.runUntil(60.0);
+
+  ReschedulerOptions opts;
+  opts.opportunistic = true;
+  StopRestartRescheduler r(*f.gis, f.nws.get(), opts);
+  Rss rss(f.eng, cop.name);
+  rss.beginIncarnation(8);
+  StopRestartRescheduler::RunningApp handle;
+  handle.cop = &cop;
+  handle.rss = &rss;
+  handle.mapping = [&mapping] { return mapping; };
+  handle.phase = [] { return std::size_t{5}; };
+  r.registerRunning(cop.name, handle);
+
+  // UIUC dead → the completion event finds nothing worth migrating to.
+  r.onAppCompleted();
+  EXPECT_FALSE(rss.stopRequested());
+
+  // The cluster recovers → the next completion event migrates onto it.
+  for (const auto id : f.tb.uiucNodes) {
+    f.injector->scheduleNodeRecovery(id, 70.0);
+  }
+  f.eng.runUntil(160.0);
+  r.onAppCompleted();
+  EXPECT_TRUE(rss.stopRequested());
+}
+
 TEST(FaultTolerance, QrSurvivesNodeFailureWithPeriodicCheckpoints) {
   Fixture f;
   f.confineToUiuc();
@@ -138,6 +252,48 @@ TEST(FaultTolerance, NoCheckpointRestartLosesEverything) {
   // full uninterrupted runtime of the whole problem on UIUC.
   ASSERT_EQ(bd.appDuration.size(), 2u);
   EXPECT_GT(bd.appDuration[1], bd.appDuration[0]);
+}
+
+TEST(FaultTolerance, LaunchRetriesThroughStaleGisWindow) {
+  Fixture f;
+  f.confineToUiuc();
+  // Fail a worker with a long stale-directory window: the restart maps off
+  // the stale GIS, binds onto the corpse, and must retry on a corrected
+  // mapping instead of dying with BindError.
+  f.injector->scheduleNodeFailure(f.tb.uiucNodes[1], 150.0, 5.0, 60.0);
+  const auto bd = f.runQr(6000, 16);
+  EXPECT_GE(bd.launchFailures, 1);
+  EXPECT_GT(bd.totalSeconds, 150.0);
+  // The mapping that finally bound avoids the failed node.
+  ASSERT_FALSE(bd.mappings.empty());
+  for (const auto node : bd.mappings.back()) {
+    EXPECT_NE(node, f.tb.uiucNodes[1]);
+  }
+}
+
+TEST(FaultTolerance, DarkDepotFallsBackToScratchRestart) {
+  Fixture f;
+  f.confineToUiuc();
+  f.injector->scheduleNodeFailure(f.tb.uiucNodes[1], 150.0, 5.0);
+  // The checkpoint depot goes dark just after the failure and never returns:
+  // the restore pre-flight finds no readable generation, and with no retry
+  // budget the manager must restart from scratch rather than crash.
+  f.eng.scheduleDaemonAt(151.0, [&f] {
+    f.ibp->setDepotUp(f.tb.uiucNodes[7], false);
+  });
+  const auto bd = f.runQr(5000, 12);
+  EXPECT_EQ(bd.incarnations, 2);
+  // No checkpoint was read — incarnation 2 recomputed everything — yet the
+  // run still finished.
+  EXPECT_DOUBLE_EQ(bd.sumSegment(bd.checkpointRead), 0.0);
+  EXPECT_GT(bd.totalSeconds, 150.0);
+
+  // Control: same failure with the depot healthy restores mid-stream.
+  Fixture f2;
+  f2.confineToUiuc();
+  f2.injector->scheduleNodeFailure(f2.tb.uiucNodes[1], 150.0, 5.0);
+  const auto healthy = f2.runQr(5000, 12);
+  EXPECT_GT(healthy.sumSegment(healthy.checkpointRead), 0.0);
 }
 
 TEST(FaultTolerance, CheckpointOverheadVisibleWithoutFailure) {
