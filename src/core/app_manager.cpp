@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 
+#include "reschedule/scrubber.hpp"
 #include "sim/sync.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -37,6 +38,11 @@ sim::Task AppManager::run(const Cop& cop,
   // The contract monitor persists across incarnations (its terms are
   // updated after each migration).
   std::unique_ptr<autopilot::ContractMonitor> monitor;
+
+  // The depot scrubber also spans incarnations: corruption mostly bites
+  // while the checkpoint sits idle between a stop and the restart.
+  reschedule::DepotScrubber scrubber(eng, *ibp_, rss);
+  if (options.scrubPeriodSec > 0.0) scrubber.start(options.scrubPeriodSec);
 
   std::vector<std::string> arrayNames;
   for (const auto& [array, bytes] : cop.checkpointArrays) {
@@ -130,7 +136,14 @@ sim::Task AppManager::run(const Cop& cop,
     // --- Execute this incarnation. ---
     vmpi::World world(*grid_, mapping, cop.name);
     rss.beginIncarnation(static_cast<int>(mapping.size()));
+    rss.setOccupiedNodes(mapping);
+    if (options.fenceWrites) {
+      // Epoch fencing: once the fence is at this incarnation, a zombie of
+      // any earlier incarnation gets StaleEpochError instead of a write.
+      ibp_->setFence(cop.name, rss.incarnation());
+    }
     reschedule::Srs srs(*ibp_, rss, world);
+    srs.setVerifyOnRestore(options.verifyCheckpoints);
     if (options.stableDepot != grid::kNoId) {
       srs.setStableDepot(options.stableDepot);
     }
@@ -146,8 +159,8 @@ sim::Task AppManager::run(const Cop& cop,
       // Pre-flight: pick the newest generation whose every object is
       // readable right now (primary or replica). The newest ledger entry
       // may be gone — its depot dark or its objects lost with a dead node.
-      const auto gen = reschedule::findRestorableGeneration(*ibp_, rss,
-                                                            arrayNames);
+      const auto gen = reschedule::findRestorableGeneration(
+          *ibp_, rss, arrayNames, options.verifyCheckpoints);
       if (gen) {
         srs.setRestoreGeneration(*gen);
         resumePhase = rss.checkpointRecord(*gen)->iteration;
@@ -228,6 +241,14 @@ sim::Task AppManager::run(const Cop& cop,
 
     breakdown.checkpointWrite.push_back(srs.writeSpanSeconds());
     breakdown.checkpointRead.push_back(srs.readSpanSeconds());
+    breakdown.corruptSliceReads += srs.corruptSliceReads();
+    if (srs.restoredThisIncarnation() && srs.corruptSliceReads() > 0) {
+      // Ground truth for the raw ablation: the application resumed from
+      // data that did not match the manifest — a silent wrong restore.
+      ++breakdown.corruptRestores;
+    }
+    breakdown.integrityRejects += srs.integrityRejects();
+    breakdown.staleWriteRejects += srs.staleWriteRejects();
     breakdown.appDuration.push_back(execEnd - execStart -
                                     srs.writeSpanSeconds() -
                                     srs.readSpanSeconds());
@@ -267,6 +288,11 @@ sim::Task AppManager::run(const Cop& cop,
     resumePhase = restored ? rss.storedIteration() : 0;
   }
 
+  scrubber.stop();
+  // Drain an in-flight scan: it walks the Rss owned by this frame.
+  while (scrubber.scanning()) co_await sim::sleepFor(eng, 1.0);
+  breakdown.scrubRepairs = scrubber.stats().repaired;
+  breakdown.scrubUnrepairable = scrubber.stats().unrepairable;
   breakdown.totalSeconds = eng.now() - runStart;
   if (out != nullptr) *out = std::move(breakdown);
 }

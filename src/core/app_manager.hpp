@@ -52,6 +52,19 @@ struct ManagerOptions {
   /// Consecutive failed restores tolerated before the manager abandons the
   /// checkpoint and restarts from scratch.
   int maxRestoreFailures = 2;
+
+  // --- Checkpoint integrity. ---
+  /// Verify restored slices (and restore pre-flights) against the RSS
+  /// manifest. Off = the raw ablation: restores trust whatever the depot
+  /// serves and corrupt reads are only counted, never avoided.
+  bool verifyCheckpoints = true;
+  /// Raise the depot write fence to the new incarnation's epoch at each
+  /// launch, so a zombie of an earlier incarnation cannot overwrite
+  /// checkpoint objects. Off = raw ablation.
+  bool fenceWrites = true;
+  /// Period of the background depot scrubber re-replicating corrupt or
+  /// missing checkpoint copies; 0 = no scrubbing.
+  double scrubPeriodSec = 0.0;
 };
 
 /// Per-run accounting matching Figure 3's stacked bars; one entry per
@@ -69,6 +82,12 @@ struct RunBreakdown {
   int incarnations = 0;
   int launchFailures = 0;   ///< empty candidate sets + stale-GIS bind failures
   int restoreFailures = 0;  ///< incarnations aborted on unreadable checkpoint
+  int corruptRestores = 0;     ///< incarnations restored from corrupt data
+  int corruptSliceReads = 0;   ///< slices delivered that defy the manifest
+  int integrityRejects = 0;    ///< copies rejected by restore verification
+  int staleWriteRejects = 0;   ///< zombie checkpoint writes fenced out
+  int scrubRepairs = 0;        ///< scrubber re-replications
+  int scrubUnrepairable = 0;   ///< slices the scrubber found no good copy for
 
   double sumSegment(const std::vector<double>& v) const;
 };

@@ -14,6 +14,9 @@ const char* chaosKindName(ChaosKind kind) {
     case ChaosKind::kLinkDegrade: return "link-degrade";
     case ChaosKind::kNwsOutage: return "nws-outage";
     case ChaosKind::kDepotOutage: return "depot-outage";
+    case ChaosKind::kBitFlip: return "bit-flip";
+    case ChaosKind::kTornWrite: return "torn-write";
+    case ChaosKind::kStaleDelivery: return "stale-delivery";
   }
   return "?";
 }
@@ -39,6 +42,12 @@ void ChaosDriver::arm(const ChaosEvent& event) {
       GRADS_REQUIRE(nws_ != nullptr, "ChaosDriver: no NWS wired");
       break;
     case ChaosKind::kDepotOutage:
+      GRADS_REQUIRE(ibp_ != nullptr, "ChaosDriver: no IBP wired");
+      GRADS_REQUIRE(event.node != grid::kNoId, "ChaosDriver: no depot node");
+      break;
+    case ChaosKind::kBitFlip:
+    case ChaosKind::kTornWrite:
+    case ChaosKind::kStaleDelivery:
       GRADS_REQUIRE(ibp_ != nullptr, "ChaosDriver: no IBP wired");
       GRADS_REQUIRE(event.node != grid::kNoId, "ChaosDriver: no depot node");
       break;
@@ -93,6 +102,46 @@ void ChaosDriver::apply(const ChaosEvent& event) {
       }
       ++counters_.depotOutages;
       break;
+    case ChaosKind::kBitFlip:
+    case ChaosKind::kTornWrite:
+    case ChaosKind::kStaleDelivery:
+      applyIntegrity(event);
+      break;
+  }
+}
+
+void ChaosDriver::applyIntegrity(const ChaosEvent& event) {
+  // The victim is drawn at fire time: the campaign was generated before the
+  // application wrote anything, so the object population only exists now.
+  // The per-event seed keeps the draw deterministic regardless of how many
+  // objects other events have already touched.
+  const auto keys = ibp_->keysOnDepot(event.node);
+  if (keys.empty()) {
+    ++counters_.integrityMisses;
+    GRADS_DEBUG("chaos") << chaosKindName(event.kind) << " fired on empty "
+                         << "depot " << grid_->node(event.node).name();
+    return;
+  }
+  Rng rng(event.victimSeed != 0 ? event.victimSeed : 0xb17f11bULL);
+  const auto& key = keys[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(keys.size()) - 1))];
+  switch (event.kind) {
+    case ChaosKind::kBitFlip: {
+      const auto bit = static_cast<std::uint64_t>(rng.uniformInt(0, 63));
+      ibp_->injectBitFlip(key, std::uint64_t{1} << bit);
+      ++counters_.bitFlips;
+      break;
+    }
+    case ChaosKind::kTornWrite:
+      ibp_->injectTornWrite(key, event.tornKeepFrac);
+      ++counters_.tornWrites;
+      break;
+    case ChaosKind::kStaleDelivery:
+      ibp_->injectStaleDelivery(key);
+      ++counters_.staleDeliveries;
+      break;
+    default:
+      break;
   }
 }
 
@@ -127,6 +176,11 @@ void ChaosDriver::revert(const ChaosEvent& event) {
                             << grid_->node(event.node).name() << " back";
         ibp_->setDepotUp(event.node, true);
       }
+      break;
+    case ChaosKind::kBitFlip:
+    case ChaosKind::kTornWrite:
+    case ChaosKind::kStaleDelivery:
+      // Corruption does not heal itself; only a scrub repair undoes it.
       break;
   }
 }
@@ -189,6 +243,24 @@ std::vector<ChaosEvent> makeCampaign(const CampaignConfig& config) {
     e.node = pick(config.candidateDepots, rng);
     events.push_back(e);
   }
+  const auto& integrityPool = config.integrityDepots.empty()
+                                  ? config.candidateDepots
+                                  : config.integrityDepots;
+  const auto addIntegrity = [&](ChaosKind kind, int count) {
+    for (int i = 0; i < count; ++i) {
+      ChaosEvent e;
+      e.kind = kind;
+      e.atSec = rng.uniform(0.0, config.horizonSec);
+      e.durationSec = 0.0;  // corruption is permanent until scrubbed
+      e.node = pick(integrityPool, rng);
+      e.victimSeed = rng.next();
+      e.tornKeepFrac = config.tornKeepFrac;
+      events.push_back(e);
+    }
+  };
+  addIntegrity(ChaosKind::kBitFlip, config.bitFlips);
+  addIntegrity(ChaosKind::kTornWrite, config.tornWrites);
+  addIntegrity(ChaosKind::kStaleDelivery, config.staleDeliveries);
 
   std::sort(events.begin(), events.end(),
             [](const ChaosEvent& a, const ChaosEvent& b) {

@@ -20,6 +20,9 @@ enum class ChaosKind {
   kLinkDegrade,    ///< `link` delivers bandwidthScale × nominal bandwidth
   kNwsOutage,      ///< the sensor battery goes dark (forecasts age out)
   kDepotOutage,    ///< IBP depot on `node` refuses puts/gets while down
+  kBitFlip,        ///< bit-rot in one object on depot `node` (silent)
+  kTornWrite,      ///< truncates one object on depot `node` to tornKeepFrac
+  kStaleDelivery,  ///< depot `node` serves outdated content for one object
 };
 
 const char* chaosKindName(ChaosKind kind);
@@ -33,6 +36,10 @@ struct ChaosEvent {
   double bandwidthScale = 0.25;     ///< kLinkDegrade
   double detectionDelaySec = 5.0;   ///< kNodeFailure heartbeat timeout
   double gisLagSec = 0.0;           ///< kNodeFailure stale-directory window
+  /// Integrity kinds: seed for the victim draw at fire time (the depot's
+  /// object population is unknown when the campaign is generated).
+  std::uint64_t victimSeed = 0;
+  double tornKeepFrac = 0.5;        ///< kTornWrite surviving fraction
 };
 
 /// Tallies of faults actually applied (recoveries counted separately).
@@ -43,9 +50,15 @@ struct ChaosCounters {
   int linkDegrades = 0;
   int nwsOutages = 0;
   int depotOutages = 0;
+  int bitFlips = 0;
+  int tornWrites = 0;
+  int staleDeliveries = 0;
+  /// Integrity events that fired against a depot holding no objects yet
+  /// (nothing to corrupt — the draw came up empty, not an error).
+  int integrityMisses = 0;
   int total() const {
     return nodeFailures + linkPartitions + linkDegrades + nwsOutages +
-           depotOutages;
+           depotOutages + bitFlips + tornWrites + staleDeliveries;
   }
 };
 
@@ -75,6 +88,14 @@ struct CampaignConfig {
   int depotOutages = 0;
   double depotOutageSec = 180.0;
   std::vector<grid::NodeId> candidateDepots;
+
+  int bitFlips = 0;
+  int tornWrites = 0;
+  int staleDeliveries = 0;
+  double tornKeepFrac = 0.5;
+  /// Depots whose objects integrity faults may hit; empty = use
+  /// candidateDepots (the same pool as outages).
+  std::vector<grid::NodeId> integrityDepots;
 };
 
 /// Draws a fault schedule from the config: deterministic in `config.seed`,
@@ -103,6 +124,7 @@ class ChaosDriver {
 
  private:
   void apply(const ChaosEvent& event);
+  void applyIntegrity(const ChaosEvent& event);
   void revert(const ChaosEvent& event);
 
   sim::Engine* engine_;

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "reschedule/redistribution.hpp"
@@ -28,6 +31,17 @@ class CheckpointUnavailableError : public Error {
 /// actors (the rescheduler) and the SRS library inside the application —
 /// carrying the stop flag, the restored iteration counter, and the previous
 /// incarnation's process count.
+///
+/// It is also the authority on checkpoint *integrity* metadata: per
+/// generation it holds a manifest of every slice's size and content digest,
+/// published in two phases (slices staged as ranks write; the manifest only
+/// becomes complete once every expected slice is staged AND the iteration
+/// was recorded). Restores verify what they read against the manifest, so a
+/// torn multi-rank checkpoint or a bit-rotted depot object is detected
+/// instead of silently restored. All manifest mutations carry the writer's
+/// incarnation epoch: a zombie incarnation (falsely suspected dead, still
+/// running) can neither stage slices nor publish iterations past the live
+/// incarnation.
 class Rss {
  public:
   explicit Rss(sim::Engine& engine, std::string appName);
@@ -41,7 +55,9 @@ class Rss {
   /// Failure-detector-side: a node running this application fail-stopped.
   /// The application must abandon the incarnation *without* checkpointing
   /// (the dead node's data is gone) and restart from the last periodic
-  /// checkpoint, if any.
+  /// checkpoint, if any. A signal for a node the current incarnation does
+  /// not occupy (late detection after a migration moved the app off it) is
+  /// ignored — it must not abort a healthy incarnation.
   void markFailure(grid::NodeId node);
   bool failureSignaled() const { return failureSignaled_; }
   grid::NodeId failedNode() const { return failedNode_; }
@@ -51,7 +67,19 @@ class Rss {
   int incarnation() const { return incarnation_; }
   int previousProcs() const { return previousProcs_; }
 
+  /// Nodes the current incarnation runs on; used to filter stale failure
+  /// signals. An empty set (never told) accepts every signal — the
+  /// pre-occupancy behavior.
+  void setOccupiedNodes(const std::vector<grid::NodeId>& nodes);
+  bool occupiesNode(grid::NodeId node) const;
+  /// Failure signals dropped because the node was not occupied.
+  std::size_t ignoredFailureSignals() const { return ignoredFailures_; }
+
   void storeIteration(std::size_t it);
+  /// Epoch-checked variant: a writer whose incarnation epoch is not the
+  /// live one is a zombie — its publish is dropped (returns false) so a
+  /// late writer can never shadow a newer generation's record.
+  bool storeIterationFor(int epoch, std::size_t it);
   std::size_t storedIteration() const { return storedIteration_; }
 
   bool hasCheckpoint() const { return hasCheckpoint_; }
@@ -68,6 +96,45 @@ class Rss {
   std::optional<CheckpointRecord> checkpointRecord(int generation) const;
   int currentProcs() const { return currentProcs_; }
 
+  // --- Checkpoint manifests (two-phase commit, epoch-fenced). ---
+
+  /// One checkpoint slice's integrity record: size, content digest, and
+  /// where the copies were directed (the scrubber repairs to these).
+  struct SliceEntry {
+    double bytes = 0.0;
+    std::uint64_t digest = 0;
+    grid::NodeId primaryNode = grid::kNoId;
+    grid::NodeId replicaNode = grid::kNoId;
+  };
+
+  struct Manifest {
+    std::size_t iteration = 0;
+    bool iterationStored = false;  ///< phase 2 (publish) happened
+    int arraysPerRank = 0;         ///< slices each rank must stage
+    std::map<std::pair<std::string, int>, SliceEntry> slices;
+  };
+
+  /// Phase 1: record a slice the writer just made durable. Rejected (false)
+  /// when `epoch` is not the live incarnation.
+  bool stageSlice(int epoch, const std::string& array, int rank,
+                  SliceEntry entry, int arraysPerRank);
+
+  const Manifest* manifest(int generation) const;
+  const SliceEntry* sliceEntry(int generation, const std::string& array,
+                               int rank) const;
+  /// True when the generation's manifest was published (iteration stored)
+  /// and every expected slice (record procs × arrays) is staged — the
+  /// crash-consistency gate: a checkpoint torn mid-write never qualifies.
+  bool manifestComplete(int generation) const;
+  /// Deterministic checksum over the manifest's contents (iteration, rank
+  /// count, every slice's identity/size/digest). Readers recompute it to
+  /// detect a corrupted ledger entry.
+  std::uint64_t manifestDigest(int generation) const;
+  std::vector<int> manifestGenerations() const;
+
+  /// Zombie activity dropped so far (stage + publish attempts).
+  std::size_t staleEpochRejects() const { return staleEpochRejects_; }
+
  private:
   sim::Engine* engine_;
   std::string app_;
@@ -80,6 +147,10 @@ class Rss {
   std::size_t storedIteration_ = 0;
   bool hasCheckpoint_ = false;
   std::map<int, CheckpointRecord> checkpoints_;
+  std::map<int, Manifest> manifests_;
+  std::set<grid::NodeId> occupied_;
+  std::size_t ignoredFailures_ = 0;
+  std::size_t staleEpochRejects_ = 0;
 };
 
 /// SRS — Stop Restart Software [22]: user-level checkpointing atop MPI.
@@ -88,6 +159,14 @@ class Rss {
 /// to the *local* IBP depot, and exit. A restarted incarnation (possibly on
 /// a different number of processors) reads the checkpoint back with an
 /// N-to-M block-cyclic redistribution.
+///
+/// Integrity: every slice write carries a deterministic content digest and
+/// the incarnation epoch captured at construction (so a zombie instance
+/// keeps writing under its own stale epoch and is fenced out at the depot).
+/// Restores verify each slice against the RSS manifest and treat any
+/// mismatch exactly like a dark depot: retry, replica, and finally
+/// CheckpointUnavailableError — corrupt data is never handed back to the
+/// application while verification is on.
 class Srs {
  public:
   Srs(services::Ibp& ibp, Rss& rss, vmpi::World& world);
@@ -116,7 +195,16 @@ class Srs {
   /// incarnation). The application manager sets this after pre-flighting
   /// which generations are currently readable.
   void setRestoreGeneration(int generation) { restoreGen_ = generation; }
+  /// Manifest verification of restored slices (default on). Off = the raw
+  /// ablation: reads trust whatever the depot serves, and mismatches are
+  /// only *counted* (ground truth for experiments), never acted on.
+  void setVerifyOnRestore(bool verify) { verify_ = verify; }
   double registeredBytes() const;
+
+  /// Incarnation epoch this instance writes under (captured when the
+  /// instance was created, deliberately NOT re-read from the RSS: a zombie
+  /// must keep its stale epoch).
+  int epoch() const { return epoch_; }
 
   /// Stop-point poll: if the rescheduler requested a stop, writes this
   /// rank's checkpoint and sets *shouldStop. All ranks must call it at the
@@ -135,13 +223,24 @@ class Srs {
 
   bool restoredThisIncarnation() const { return restored_; }
 
+  /// Ground truth: slices delivered to the application whose content did
+  /// not match the manifest (only possible with verification off).
+  int corruptSliceReads() const { return corruptSliceReads_; }
+  /// Copies that failed manifest verification and were skipped in favor of
+  /// the replica / retry / older generation (verification on).
+  int integrityRejects() const { return integrityRejects_; }
+  /// Writes this instance dropped because the depot fence or the RSS ledger
+  /// identified it as a zombie.
+  int staleWriteRejects() const { return staleWriteRejects_; }
+
   /// Side-effect-free poll of the RSS stop flag (for apps that make the
   /// stop decision collectively before checkpointing).
   bool stopRequested() const { return rss_->stopRequested(); }
   /// Side-effect-free poll of the fail-stop signal.
   bool failureSignaled() const { return rss_->failureSignaled(); }
-  /// Records the iteration the restarted incarnation must resume from.
-  void storeIteration(std::size_t it) { rss_->storeIteration(it); }
+  /// Records the iteration the restarted incarnation must resume from
+  /// (epoch-checked: a zombie's publish is dropped).
+  void storeIteration(std::size_t it) { rss_->storeIterationFor(epoch_, it); }
 
   /// Wall-clock spans (first start → last end across all ranks) of the
   /// checkpoint write/read of this incarnation — Figure 3's "Checkpoint
@@ -155,9 +254,18 @@ class Srs {
                                const std::string& array, int rank,
                                int incarnation, bool replica = false);
 
+  /// Deterministic content digest of a checkpoint slice (what the writer
+  /// stamps on both copies and stages into the manifest). Never zero.
+  static std::uint64_t contentDigest(const std::string& app,
+                                     const std::string& array, int rank,
+                                     int generation, double bytes);
+
  private:
   sim::Task readSlice(const std::string& array, int sourceRank, int gen,
                       double bytes, grid::NodeId toNode);
+  /// readable() && (if verifying and the manifest knows this slice) the
+  /// observed digest and size match the manifest.
+  bool copyUsable(const std::string& key, const Rss::SliceEntry* want);
 
   struct ArrayInfo {
     double totalBytes = 0.0;
@@ -174,20 +282,33 @@ class Srs {
   util::RetryPolicy retry_ = util::RetryPolicy::none();
   Rng retryRng_{0x5c5eedULL};
   int restoreGen_ = 0;  ///< 0 = previous incarnation
+  int epoch_ = 0;       ///< incarnation captured at construction
+  bool verify_ = true;
   bool restored_ = false;
+  int corruptSliceReads_ = 0;
+  int integrityRejects_ = 0;
+  int staleWriteRejects_ = 0;
   double writeStart_ = -1.0;
   double writeEnd_ = -1.0;
   double readStart_ = -1.0;
   double readEnd_ = -1.0;
 };
 
+/// One copy of a checkpoint slice verifies: it is readable right now and
+/// (size, digest) match the manifest entry.
+bool sliceCopyVerifies(const services::Ibp& ibp, const std::string& key,
+                       const Rss::SliceEntry& want);
+
 /// Pre-flight for a restart: the newest checkpoint generation recorded in
 /// the RSS ledger whose every object (for all ranks and arrays of that
 /// generation) is currently readable — on its primary depot or, failing
-/// that, its replica. Returns nullopt when no generation qualifies (restart
-/// from scratch). `arrays` are the registered checkpoint array names.
+/// that, its replica. With `verifyIntegrity` the bar is higher: the
+/// generation's manifest must be complete (two-phase publish finished) and
+/// every slice must have at least one copy whose size and digest match it.
+/// Returns nullopt when no generation qualifies (restart from scratch).
+/// `arrays` are the registered checkpoint array names.
 std::optional<int> findRestorableGeneration(
     const services::Ibp& ibp, const Rss& rss,
-    const std::vector<std::string>& arrays);
+    const std::vector<std::string>& arrays, bool verifyIntegrity = false);
 
 }  // namespace grads::reschedule

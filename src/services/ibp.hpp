@@ -1,9 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "grid/grid.hpp"
 #include "sim/ps_resource.hpp"
@@ -20,12 +22,42 @@ class DepotDownError : public Error {
   explicit DepotDownError(const std::string& what) : Error(what) {}
 };
 
+/// Raised when a fenced write carries an incarnation epoch older than the
+/// depot's fence for that domain. Permanent by design: the writer is a
+/// zombie incarnation (suspected dead but still running) and must never be
+/// allowed to shadow the live incarnation's data — callers drop the write,
+/// they do not retry it.
+class StaleEpochError : public Error {
+ public:
+  explicit StaleEpochError(const std::string& what) : Error(what) {}
+};
+
+/// Write-side metadata for Ibp::put.
+struct PutOptions {
+  /// Content digest of the object. 0 = derive deterministically from the
+  /// key and size (fine for objects nobody cross-checks; checkpoint writers
+  /// pass the real content digest so primary and replica copies of the same
+  /// slice agree).
+  std::uint64_t digest = 0;
+  /// Fencing domain (typically the application name). Empty = unfenced.
+  std::string fenceDomain;
+  /// Writer's incarnation epoch; rejected with StaleEpochError when below
+  /// the depot fence for `fenceDomain`.
+  int epoch = 0;
+};
+
 /// Internet Backplane Protocol storage fabric: one depot per node, backed by
 /// the node's local disk. SRS writes checkpoints to the *local* depot (fast,
 /// disk-bandwidth bound) and restarted processes read them across the
 /// network (slow) — the asymmetry that dominates Figure 3's rescheduling
 /// cost ("the time for reading checkpoints dominated ... while the time for
 /// writing checkpoints is insignificant").
+///
+/// Integrity model: every object carries a content digest. The depot itself
+/// never verifies it (matching real IBP: storage is dumb); readers compare
+/// the observed digest against an out-of-band manifest. Integrity faults
+/// (bit flips, torn writes, stale deliveries) perturb the observed digest
+/// and/or size so an unverified read silently returns wrong content.
 class Ibp {
  public:
   explicit Ibp(grid::Grid& grid);
@@ -36,14 +68,24 @@ class Ibp {
   /// written by a process running on `fromNode` (kNoId = atNode): a remote
   /// depot costs the network transfer plus the depot's disk time.
   sim::Task put(const std::string& key, double bytes, grid::NodeId atNode,
-                grid::NodeId fromNode = grid::kNoId);
+                grid::NodeId fromNode, PutOptions opts);
+  /// Unfenced put with a derived digest. (A separate overload, not a default
+  /// argument: GCC's coroutine lowering double-frees defaulted parameters of
+  /// class type.)
+  sim::Task put(const std::string& key, double bytes, grid::NodeId atNode,
+                grid::NodeId fromNode = grid::kNoId) {
+    return put(key, bytes, atNode, fromNode, PutOptions{});
+  }
 
   /// Reads object `key` into a process on `toNode`: pays depot disk time
   /// plus (if remote) the network transfer from the depot's node.
   sim::Task get(const std::string& key, grid::NodeId toNode);
 
   /// Reads only a `bytes`-sized slice of object `key` to `toNode` (used for
-  /// N-to-M redistribution where each reader pulls its own pieces).
+  /// N-to-M redistribution where each reader pulls its own pieces). A torn
+  /// (truncated) object delivers a silent short read — exactly what a real
+  /// depot does — instead of erroring; intact objects still reject
+  /// oversized slice requests as a caller bug.
   sim::Task getSlice(const std::string& key, double bytes,
                      grid::NodeId toNode);
 
@@ -52,6 +94,35 @@ class Ibp {
   grid::NodeId locationOf(const std::string& key) const;
   void remove(const std::string& key);
   std::size_t objectCount() const { return objects_.size(); }
+
+  /// Content digest a reader would observe for `key` (the stored digest,
+  /// after any injected corruption — not necessarily the written one).
+  std::uint64_t observedDigest(const std::string& key) const;
+  /// Size a reader would observe (post-truncation for torn objects).
+  double observedBytes(const std::string& key) const;
+
+  /// Keys of all objects whose depot is `node`, sorted (deterministic
+  /// victim pools for fault injection and scrub walks).
+  std::vector<std::string> keysOnDepot(grid::NodeId node) const;
+
+  // --- Integrity fault injection (chaos-driver entry points). ---
+  /// Bit-rot: the stored content changes, the size does not. `mask` xors
+  /// into the observed digest (must be nonzero).
+  void injectBitFlip(const std::string& key, std::uint64_t mask);
+  /// Torn/truncated write: only `keepFrac` of the object survives; the
+  /// observed digest changes too (the tail is gone).
+  void injectTornWrite(const std::string& key, double keepFrac);
+  /// Stale delivery: the depot serves outdated content for `key` (lost
+  /// update / delayed replica sync). Size is right, digest is not.
+  void injectStaleDelivery(const std::string& key);
+
+  // --- Incarnation-epoch fencing. ---
+  /// Raises the write fence for `domain` (monotonic: lowering is a no-op).
+  /// Subsequent fenced puts with epoch < fence throw StaleEpochError.
+  void setFence(const std::string& domain, int epoch);
+  int fenceEpoch(const std::string& domain) const;
+  /// Fenced writes rejected so far (zombie incarnations stopped).
+  std::size_t staleEpochRejects() const { return staleEpochRejects_; }
 
   /// Depot outage state: operations against a down depot throw
   /// DepotDownError. Objects survive the outage (the disk is intact; the
@@ -68,12 +139,18 @@ class Ibp {
   struct Object {
     double bytes = 0.0;
     grid::NodeId node = grid::kNoId;
+    std::uint64_t digest = 0;
+    bool torn = false;
   };
+
+  const Object& require(const std::string& key, const char* op) const;
 
   grid::Grid* grid_;
   std::map<grid::NodeId, std::unique_ptr<sim::PsResource>> disks_;
   std::map<std::string, Object> objects_;
   std::set<grid::NodeId> downDepots_;
+  std::map<std::string, int> fences_;
+  std::size_t staleEpochRejects_ = 0;
 };
 
 }  // namespace grads::services

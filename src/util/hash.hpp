@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace grads::util {
+
+/// FNV-1a 64-bit — the deterministic content-digest primitive behind the
+/// checkpoint-integrity layer. Not cryptographic: it detects bit-rot, torn
+/// writes, and stale deliveries, not adversaries, which matches what real
+/// depot scrubbers (and IBP's own end-to-end checksums) defend against.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& s,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Order-sensitive digest combinator (boost::hash_combine-style mixing).
+inline std::uint64_t hashCombine(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+inline std::uint64_t hashCombine(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return hashCombine(h, bits);
+}
+
+}  // namespace grads::util

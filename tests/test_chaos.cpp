@@ -137,6 +137,15 @@ TEST(Campaign, SortedAndDrawnFromCandidatePools) {
         ++want.depotOutages;
         EXPECT_EQ(e.node, 4u);
         break;
+      case ChaosKind::kBitFlip:
+        ++want.bitFlips;
+        break;
+      case ChaosKind::kTornWrite:
+        ++want.tornWrites;
+        break;
+      case ChaosKind::kStaleDelivery:
+        ++want.staleDeliveries;
+        break;
     }
   }
   EXPECT_EQ(want.nodeFailures, cc.nodeFailures);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/retry.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -209,6 +210,63 @@ TEST(Error, RequireThrowsInvalidArgument) {
 
 TEST(Error, AssertThrowsInternalError) {
   EXPECT_THROW(GRADS_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(Retry, SingleAttemptNeverGrantsARetry) {
+  util::Retry retry(util::RetryPolicy::none());
+  EXPECT_FALSE(retry.nextDelaySec().has_value());
+  EXPECT_EQ(retry.attemptsUsed(), 0);
+  // Repeated polling after exhaustion stays exhausted.
+  EXPECT_FALSE(retry.nextDelaySec().has_value());
+}
+
+TEST(Retry, ZeroBaseDelayBacksOffToZero) {
+  util::RetryPolicy p;
+  p.maxAttempts = 3;
+  p.baseDelaySec = 0.0;
+  p.jitterFrac = 0.0;
+  util::Retry retry(p);
+  EXPECT_DOUBLE_EQ(*retry.nextDelaySec(), 0.0);
+  EXPECT_DOUBLE_EQ(*retry.nextDelaySec(), 0.0);  // 0 × backoff stays 0
+  EXPECT_FALSE(retry.nextDelaySec().has_value());
+  EXPECT_EQ(retry.attemptsUsed(), 2);
+}
+
+TEST(Retry, JitterIsDeterministicAcrossIdenticalSeeds) {
+  util::RetryPolicy p;
+  p.maxAttempts = 5;
+  p.jitterFrac = 0.25;
+  Rng a(42);
+  Rng b(42);
+  util::Retry ra(p, &a);
+  util::Retry rb(p, &b);
+  for (int i = 0; i < 4; ++i) {
+    const auto da = ra.nextDelaySec();
+    const auto db = rb.nextDelaySec();
+    ASSERT_TRUE(da.has_value());
+    ASSERT_TRUE(db.has_value());
+    EXPECT_DOUBLE_EQ(*da, *db);
+    // Jitter stays within ±jitterFrac of the un-jittered delay.
+    const double nominal = p.delaySec(i, nullptr);
+    EXPECT_GE(*da, nominal * (1.0 - p.jitterFrac));
+    EXPECT_LE(*da, nominal * (1.0 + p.jitterFrac));
+  }
+}
+
+TEST(Retry, BackoffSaturatesAtCap) {
+  util::RetryPolicy p;
+  p.maxAttempts = 10;
+  p.baseDelaySec = 2.0;
+  p.backoffFactor = 10.0;
+  p.maxDelaySec = 50.0;
+  p.jitterFrac = 0.0;
+  util::Retry retry(p);
+  EXPECT_DOUBLE_EQ(*retry.nextDelaySec(), 2.0);
+  EXPECT_DOUBLE_EQ(*retry.nextDelaySec(), 20.0);
+  for (int i = 2; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(*retry.nextDelaySec(), 50.0);  // 200, 2000... clamped
+  }
+  EXPECT_FALSE(retry.nextDelaySec().has_value());
 }
 
 }  // namespace
