@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
 #include "grid/testbeds.hpp"
@@ -254,7 +255,7 @@ int main() {
   table.print(std::cout,
               "Chaos campaigns — node/link/NWS/depot faults, mitigations "
               "on vs off (slowdown vs fault-free baseline)");
-  table.saveCsv("chaos_campaign.csv");
+  table.saveCsv(bench::outputPath("chaos_campaign.csv"));
 
   std::cout << "\nExpected shape: with mitigations on, every campaign "
                "completes (bounded retries + replicas + generation "

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "apps/eman.hpp"
 #include "grid/testbeds.hpp"
 #include "services/gis.hpp"
@@ -67,7 +68,7 @@ int main() {
   table.print(std::cout,
               "§3.3 — EMAN refinement workflow on the heterogeneous "
               "(IA-32 + IA-64) testbed");
-  table.saveCsv("eman_workflow.csv");
+  table.saveCsv(bench::outputPath("eman_workflow.csv"));
 
   std::cout << "\nPaper's qualitative result: the GrADS workflow scheduler "
                "(best-of-three over min-min/max-min/sufferage, guided by "

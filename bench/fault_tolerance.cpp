@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
 #include "grid/testbeds.hpp"
@@ -74,7 +75,7 @@ int main() {
   table.print(std::cout,
               "Fault tolerance — QR (N=6000) with periodic SRS checkpoints, "
               "fail-stop at t=250 s (0 = checkpointing off)");
-  table.saveCsv("fault_tolerance.csv");
+  table.saveCsv(bench::outputPath("fault_tolerance.csv"));
 
   std::cout << "\nExpected shape: without checkpoints a failure restarts the"
                " whole factorization; as the interval shrinks the failure"

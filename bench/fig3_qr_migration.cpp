@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
 #include "grid/load.hpp"
@@ -114,7 +115,7 @@ int main() {
   table.print(std::cout,
               "Figure 3 — QR stop/migrate/restart vs problem size "
               "(left bar = no rescheduling, right bar = rescheduling)");
-  table.saveCsv("fig3_qr_migration.csv");
+  table.saveCsv(bench::outputPath("fig3_qr_migration.csv"));
 
   std::cout << "\nPaper's qualitative result: migration pays off for large N"
                " (crossover near N≈8000), checkpoint *read* dominates the"

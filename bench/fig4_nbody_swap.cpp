@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "apps/nbody.hpp"
 #include "grid/load.hpp"
 #include "microgrid/dml.hpp"
@@ -109,7 +110,7 @@ int main() {
   for (const auto& [t, iter] : swapRun.progress.samples) {
     csv.addRow({t, static_cast<std::int64_t>(iter)});
   }
-  csv.saveCsv("fig4_nbody_swap.csv");
+  csv.saveCsv(bench::outputPath("fig4_nbody_swap.csv"));
 
   std::cout << "\nSwap events:\n";
   for (const auto& e : swapRun.swaps) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
 #include "grid/testbeds.hpp"
@@ -268,7 +269,7 @@ int main(int argc, char** argv) {
   table.print(std::cout,
               "Integrity campaigns — checkpoint corruption under node "
               "failures, raw vs mitigated (identical retries/replicas)");
-  table.saveCsv("integrity_campaign.csv");
+  table.saveCsv(bench::outputPath("integrity_campaign.csv"));
 
   std::cout << "\nZombie incarnation fencing (2-rank checkpoint, stale "
                "epoch):\n";

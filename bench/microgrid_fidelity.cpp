@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "apps/nbody.hpp"
 #include "grid/load.hpp"
 #include "microgrid/dml.hpp"
@@ -91,7 +92,7 @@ int main() {
   table.print(std::cout,
               "MicroGrid fidelity — Figure-4 scenario, direct simulation vs "
               "emulation with virtualization overheads");
-  table.saveCsv("microgrid_fidelity.csv");
+  table.saveCsv(bench::outputPath("microgrid_fidelity.csv"));
 
   std::cout << "\nExpected shape: the emulated run tracks the direct run "
                "within a few percent everywhere, and both make the same "

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <numbers>
 
+#include "bench_paths.hpp"
 #include "services/nws.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -115,7 +116,7 @@ int main() {
   table.print(std::cout,
               "NWS forecaster battery — mean absolute error by series "
               "dynamics (lower is better)");
-  table.saveCsv("nws_forecasters.csv");
+  table.saveCsv(bench::outputPath("nws_forecasters.csv"));
 
   std::cout << "\nExpected shape: no single forecaster wins everywhere"
                " (median on spikes, AR(1) on mean-reversion, windowed means"

@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
 #include "grid/testbeds.hpp"
@@ -108,7 +109,7 @@ int main() {
   table.print(std::cout,
               "Opportunistic rescheduling — app A migrates onto resources "
               "freed by app B's completion");
-  table.saveCsv("opportunistic.csv");
+  table.saveCsv(bench::outputPath("opportunistic.csv"));
 
   std::cout << "\nExpected shape: with opportunism on, app A restarts once "
                "(2 incarnations) onto the freed UTK cluster and finishes "

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "grid/node.hpp"
 #include "mem/cache.hpp"
 #include "mem/reuse.hpp"
@@ -94,8 +95,8 @@ int main() {
                    "sizes, evaluated at unseen larger sizes");
   missTable.print(std::cout,
                   "§3.2 — MRD cache-miss models vs direct LRU simulation");
-  flopsTable.saveCsv("perfmodel_flops.csv");
-  missTable.saveCsv("perfmodel_misses.csv");
+  flopsTable.saveCsv(bench::outputPath("perfmodel_flops.csv"));
+  missTable.saveCsv(bench::outputPath("perfmodel_misses.csv"));
 
   std::cout << "\nExpected shape: flop predictions within a fraction of a "
                "percent (polynomial counts are fit exactly); miss-count "

@@ -5,6 +5,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "apps/nbody.hpp"
 #include "grid/load.hpp"
 #include "microgrid/dml.hpp"
@@ -96,7 +97,7 @@ int main() {
   table.print(std::cout,
               "Swap-policy ablation — N-body completion time (s) on the "
               "§4.2.2 virtual grid");
-  table.saveCsv("swap_policies.csv");
+  table.saveCsv(bench::outputPath("swap_policies.csv"));
 
   std::cout << "\nExpected shape: with persistent load every swapping policy"
                " beats 'never'; the model-based policy (which accounts for"

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "grid/testbeds.hpp"
 #include "services/gis.hpp"
 #include "util/table.hpp"
@@ -69,7 +70,7 @@ int main() {
   }
   table.print(std::cout,
               "Workflow heuristic comparison — makespan (s) on the MacroGrid");
-  table.saveCsv("workflow_heuristics.csv");
+  table.saveCsv(bench::outputPath("workflow_heuristics.csv"));
 
   // w1/w2 ablation: a data source pinned (by software constraint) to a
   // slow UIUC node feeds 8 data-heavy consumers. With compute-only ranking
@@ -112,7 +113,7 @@ int main() {
   }
   weights.print(std::cout, "Rank-weight (w1·ecost + w2·dcost) ablation — "
                            "pinned data source with data-heavy consumers");
-  weights.saveCsv("workflow_weights.csv");
+  weights.saveCsv(bench::outputPath("workflow_weights.csv"));
 
   std::cout << "\nExpected shape: best-of-three <= each single heuristic; all"
                " model-guided heuristics beat the model-free baselines; as"

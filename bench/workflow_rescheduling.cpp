@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_paths.hpp"
 #include "grid/load.hpp"
 #include "grid/testbeds.hpp"
 #include "services/gis.hpp"
@@ -80,7 +81,7 @@ int main() {
   table.print(std::cout,
               "Workflow-level rescheduling — executed makespan with a load "
               "burst on the initial cluster (load_at=-1: no load)");
-  table.saveCsv("workflow_rescheduling.csv");
+  table.saveCsv(bench::outputPath("workflow_rescheduling.csv"));
 
   std::cout << "\nExpected shape: no load → identical (no churn); early load"
                " → large wins from remapping pending components; late load →"

@@ -76,7 +76,8 @@ void ContractMonitor::confirmAndRaise(double ratio) {
   if (!confirmed) return;
 
   ++violations_;
-  ViolationReport report{contract_.app(), phase_, ratio, avg, engine_->now()};
+  ViolationReport report{contract_.app(), phase_, ratio,
+                         avg,             engine_->now(), upper_};
   GRADS_INFO("contract") << contract_.app() << ": violation at phase "
                          << phase_ << " ratio=" << ratio << " avg=" << avg;
   RescheduleOutcome outcome = RescheduleOutcome::kDeclined;
@@ -90,7 +91,9 @@ void ContractMonitor::confirmAndRaise(double ratio) {
   }
   if (outcome == RescheduleOutcome::kDeclined) {
     // "If the rescheduler chooses not to migrate the application, the
-    // contract monitor adjusts its tolerance limits to new values."
+    // contract monitor adjusts its tolerance limits to new values." A
+    // governor-suppressed violation is different: the limits stay put so
+    // repeated evidence keeps reaching the governor's quorum window.
     upper_ = std::max(upper_ * 1.1, avg * 1.1);
     GRADS_DEBUG("contract") << contract_.app()
                             << ": rescheduler declined; upper tolerance now "

@@ -38,10 +38,17 @@ struct ViolationReport {
   double ratio = 0.0;     ///< actual / predicted for the triggering phase
   double avgRatio = 0.0;  ///< windowed average that confirmed the violation
   double time = 0.0;      ///< virtual time of detection
+  /// Upper tolerance in force when the violation was confirmed — the
+  /// governor's hysteresis band is anchored on it.
+  double upperTolerance = 0.0;
 };
 
 /// Outcome the rescheduler reports back; determines tolerance adjustment.
-enum class RescheduleOutcome { kMigrated, kDeclined };
+/// kDeclined widens the tolerance limits (paper §4.1.1); kSuppressed — the
+/// violation governor held the request back — must NOT: the governor is
+/// waiting for quorum/cooldown, and widening would erase the very signal it
+/// is waiting to confirm.
+enum class RescheduleOutcome { kMigrated, kDeclined, kSuppressed };
 
 /// Decision procedure used to confirm a violation.
 enum class DecisionMode { kThresholdAverage, kFuzzy };

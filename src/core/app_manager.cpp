@@ -35,6 +35,17 @@ sim::Task AppManager::run(const Cop& cop,
   bool restored = false;
   int consecutiveRestoreFailures = 0;
 
+  // Transactional rescheduling state. `priorMapping` is the journaled
+  // rollback target of an aborted action; `rollbackToPrior` asks the next
+  // launch to relaunch there instead of re-running the mapper.
+  reschedule::ActionJournal* journal = options.journal;
+  const int baseCommitted =
+      journal != nullptr ? journal->committedFor(cop.name) : 0;
+  const int baseRolledBack =
+      journal != nullptr ? journal->rolledBackFor(cop.name) : 0;
+  std::vector<grid::NodeId> priorMapping;
+  bool rollbackToPrior = false;
+
   // The contract monitor persists across incarnations (its terms are
   // updated after each migration).
   std::unique_ptr<autopilot::ContractMonitor> monitor;
@@ -78,7 +89,29 @@ sim::Task AppManager::run(const Cop& cop,
     // --- Performance modeling + mapping. ---
     t0 = eng.now();
     co_await sim::sleepFor(eng, options.perfModelingSec);
-    const auto mapping = cop.mapper->chooseMapping(available, nws_);
+    std::vector<grid::NodeId> mapping;
+    if (rollbackToPrior && !priorMapping.empty()) {
+      // A journaled action rolled back: resume on the pre-action nodes, not
+      // on whatever the mapper likes today — that choice is what just
+      // failed. Only if a prior node died too do we fall through.
+      bool priorUp = true;
+      for (const auto n : priorMapping) {
+        priorUp = priorUp && gis_->isNodeReachable(n);
+      }
+      if (priorUp) {
+        mapping = priorMapping;
+        GRADS_INFO("app-manager")
+            << log::appAt(cop.name, eng.now())
+            << "rolled-back action: relaunching on prior mapping ("
+            << mapping.size() << " ranks)";
+      } else {
+        GRADS_WARN("app-manager")
+            << log::appAt(cop.name, eng.now())
+            << "rollback target lost a node; remapping from scratch";
+      }
+    }
+    rollbackToPrior = false;
+    if (mapping.empty()) mapping = cop.mapper->chooseMapping(available, nws_);
     GRADS_REQUIRE(!mapping.empty(), "AppManager: empty mapping");
     breakdown.perfModeling.push_back(eng.now() - t0);
     breakdown.mappings.push_back(mapping);
@@ -86,6 +119,14 @@ sim::Task AppManager::run(const Cop& cop,
                               << breakdown.mappings.size() << " on "
                               << mapping.size() << " ranks (first node "
                               << gis_->grid().node(mapping[0]).name() << ")";
+
+    if (journal != nullptr) {
+      if (const auto* rec = journal->openAction(cop.name)) {
+        // Commit-phase selection may revise the prepare-time candidate once
+        // fresh NWS data is in; the journal records what actually launches.
+        journal->setTarget(rec->id, mapping);
+      }
+    }
 
     std::set<grid::NodeId> reserved;
     if (options.reserveNodes) {
@@ -119,6 +160,15 @@ sim::Task AppManager::run(const Cop& cop,
       breakdown.perfModeling.pop_back();
       breakdown.mappings.pop_back();
       ++breakdown.launchFailures;
+      if (journal != nullptr) {
+        if (const auto* rec = journal->openAction(cop.name)) {
+          // The target mapping is unusable (a node died between selection
+          // and bind): abort the migration and relaunch on the old nodes.
+          priorMapping = rec->prior;
+          rollbackToPrior = true;
+          journal->rollback(rec->id, "bind failed on target mapping");
+        }
+      }
       const auto delay = launchRetry.nextDelaySec();
       if (!delay) std::rethrow_exception(bindError);
       co_await sim::sleepFor(eng, *delay);
@@ -179,6 +229,25 @@ sim::Task AppManager::run(const Cop& cop,
       }
     }
 
+    if (journal != nullptr) {
+      if (const auto* rec = journal->openAction(cop.name)) {
+        if (!restored) {
+          // The stop checkpoint validated when the action was prepared, but
+          // no generation is readable any more (depot dark, objects lost).
+          // There is nothing to move, so the migration-as-transaction fails
+          // — this incarnation proceeds from scratch instead.
+          journal->rollback(rec->id, "checkpoint unreadable at restart");
+        } else {
+          // Commit phase: the restore onto the target mapping begins. The
+          // action commits the instant the last rank holds its share.
+          journal->beginCommit(rec->id);
+          srs.setOnAllRestored([journal, id = rec->id] {
+            journal->commit(id, "all ranks restored on target mapping");
+          });
+        }
+      }
+    }
+
     LaunchContext ctx;
     ctx.appName = cop.name;
     ctx.world = &world;
@@ -205,11 +274,19 @@ sim::Task AppManager::run(const Cop& cop,
         monitor->contract().updateTerms(predictor);
         monitor->resetPhase(resumePhase);
         monitor->setEnabled(true);
+        // Phase numbering restarted: the governor's quorum window would
+        // otherwise misread post-restart phases as duplicates.
+        if (options.governor != nullptr) options.governor->resetApp(cop.name);
       }
       if (rescheduler != nullptr) {
         monitor->setRescheduleRequest(
-            [rescheduler, &cop, &rss, mapping](
-                const autopilot::ViolationReport& r) {
+            [rescheduler, governor = options.governor, &breakdown, &cop,
+             &rss, mapping](const autopilot::ViolationReport& r) {
+              if (governor != nullptr &&
+                  governor->admit(r) != reschedule::GovernorVerdict::kAdmit) {
+                ++breakdown.violationsSuppressed;
+                return autopilot::RescheduleOutcome::kSuppressed;
+              }
               return rescheduler->onViolation(cop, rss, mapping, r.phase);
             });
       } else {
@@ -255,11 +332,28 @@ sim::Task AppManager::run(const Cop& cop,
     ++breakdown.incarnations;
 
     if (!ctx.stopped) {
+      if (journal != nullptr) {
+        if (const auto* rec = journal->openAction(cop.name)) {
+          // Defensive close: the run finished on the target, so the action
+          // is a success even if the commit callback never fired (e.g. a
+          // 1-rank restore path that bypassed restoreCheckpoint).
+          journal->commit(rec->id, "run completed on target mapping");
+        }
+      }
       // Completed. Opportunistic rescheduling may now help someone else.
       if (rescheduler != nullptr) rescheduler->onAppCompleted();
       break;
     }
     if (ctx.restoreFailed) {
+      if (journal != nullptr) {
+        if (const auto* rec = journal->openAction(cop.name)) {
+          // Fault in the commit phase before the commit point: the restore
+          // onto the target died. Roll back and relaunch on the old nodes.
+          priorMapping = rec->prior;
+          rollbackToPrior = true;
+          journal->rollback(rec->id, "restore failed on target mapping");
+        }
+      }
       // The incarnation aborted because its checkpoint turned unreadable
       // between the pre-flight and the read (depot flapping). Retry the
       // restore a bounded number of times, then cut losses and restart
@@ -280,12 +374,33 @@ sim::Task AppManager::run(const Cop& cop,
       continue;
     }
     consecutiveRestoreFailures = 0;
-    GRADS_INFO("app-manager") << cop.name << ": stopped at phase "
-                              << ctx.completedPhases << "; restarting";
+    GRADS_INFO("app-manager") << log::appAt(cop.name, eng.now())
+                              << "stopped at phase " << ctx.completedPhases
+                              << "; restarting";
     // A rescheduler-driven stop leaves a fresh checkpoint; a failure leaves
     // only the last *periodic* one (possibly none — restart from scratch).
     restored = rss.hasCheckpoint();
     resumePhase = restored ? rss.storedIteration() : 0;
+    if (journal != nullptr) {
+      if (const auto* rec = journal->openAction(cop.name)) {
+        // Prepare validation: the action may enter its commit phase only if
+        // this incarnation left a complete, published stop checkpoint and
+        // no fault hit while it was being taken.
+        const bool checkpointGood =
+            rss.hasCheckpoint() &&
+            (!options.verifyCheckpoints ||
+             rss.manifestComplete(rss.incarnation()));
+        if (rss.failureSignaled()) {
+          priorMapping = rec->prior;
+          rollbackToPrior = true;
+          journal->rollback(rec->id, "node failure during action");
+        } else if (!checkpointGood) {
+          priorMapping = rec->prior;
+          rollbackToPrior = true;
+          journal->rollback(rec->id, "stop checkpoint incomplete");
+        }
+      }
+    }
   }
 
   scrubber.stop();
@@ -293,6 +408,14 @@ sim::Task AppManager::run(const Cop& cop,
   while (scrubber.scanning()) co_await sim::sleepFor(eng, 1.0);
   breakdown.scrubRepairs = scrubber.stats().repaired;
   breakdown.scrubUnrepairable = scrubber.stats().unrepairable;
+  if (journal != nullptr) {
+    breakdown.actionsCommitted =
+        journal->committedFor(cop.name) - baseCommitted;
+    breakdown.actionsRolledBack =
+        journal->rolledBackFor(cop.name) - baseRolledBack;
+    breakdown.actionsOpened =
+        breakdown.actionsCommitted + breakdown.actionsRolledBack;
+  }
   breakdown.totalSeconds = eng.now() - runStart;
   if (out != nullptr) *out = std::move(breakdown);
 }

@@ -7,6 +7,8 @@
 #include "core/binder.hpp"
 #include "core/cop.hpp"
 #include "reschedule/failure.hpp"
+#include "reschedule/governor.hpp"
+#include "reschedule/journal.hpp"
 #include "reschedule/rescheduler.hpp"
 #include "services/ibp.hpp"
 #include "util/retry.hpp"
@@ -65,6 +67,19 @@ struct ManagerOptions {
   /// Period of the background depot scrubber re-replicating corrupt or
   /// missing checkpoint copies; 0 = no scrubbing.
   double scrubPeriodSec = 0.0;
+
+  // --- Transactional rescheduling. ---
+  /// Action journal for two-phase migrations. When set (and also handed to
+  /// the rescheduler via setJournal), every migrate runs prepare → commit →
+  /// finalize: the manager validates the stop checkpoint, stages the target
+  /// mapping, commits when the last rank restores on the new nodes, and on
+  /// any fault before that point rolls back and relaunches on the journaled
+  /// prior mapping. May be null (untracked migrations, the seed behavior).
+  reschedule::ActionJournal* journal = nullptr;
+  /// Anti-thrash governor consulted before a confirmed violation reaches
+  /// the rescheduler; a non-admit verdict returns kSuppressed (tolerances
+  /// unchanged). May be null: violations pass straight through.
+  reschedule::ViolationGovernor* governor = nullptr;
 };
 
 /// Per-run accounting matching Figure 3's stacked bars; one entry per
@@ -88,6 +103,10 @@ struct RunBreakdown {
   int staleWriteRejects = 0;   ///< zombie checkpoint writes fenced out
   int scrubRepairs = 0;        ///< scrubber re-replications
   int scrubUnrepairable = 0;   ///< slices the scrubber found no good copy for
+  int actionsOpened = 0;       ///< journaled rescheduling actions this run
+  int actionsCommitted = 0;    ///< actions that reached their commit point
+  int actionsRolledBack = 0;   ///< actions resolved back to the prior mapping
+  int violationsSuppressed = 0;///< confirmed violations the governor held
 
   double sumSegment(const std::vector<double>& v) const;
 };

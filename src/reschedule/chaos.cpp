@@ -75,7 +75,7 @@ void ChaosDriver::apply(const ChaosEvent& event) {
       if (linkDownDepth_[event.link]++ == 0) {
         GRADS_WARN("chaos") << "link "
                             << grid_->link(event.link).spec().name
-                            << " partitioned";
+                            << " partitioned at t=" << engine_->now();
         grid_->link(event.link).setUp(false);
       }
       ++counters_.linkPartitions;
@@ -83,13 +83,13 @@ void ChaosDriver::apply(const ChaosEvent& event) {
     case ChaosKind::kLinkDegrade:
       GRADS_WARN("chaos") << "link " << grid_->link(event.link).spec().name
                           << " degraded to " << event.bandwidthScale
-                          << "x bandwidth";
+                          << "x bandwidth at t=" << engine_->now();
       grid_->link(event.link).setBandwidthScale(event.bandwidthScale);
       ++counters_.linkDegrades;
       break;
     case ChaosKind::kNwsOutage:
       if (nwsDarkDepth_++ == 0) {
-        GRADS_WARN("chaos") << "NWS sensors dark";
+        GRADS_WARN("chaos") << "NWS sensors dark at t=" << engine_->now();
         nws_->setDark(true);
       }
       ++counters_.nwsOutages;
@@ -97,7 +97,8 @@ void ChaosDriver::apply(const ChaosEvent& event) {
     case ChaosKind::kDepotOutage:
       if (depotDownDepth_[event.node]++ == 0) {
         GRADS_WARN("chaos") << "IBP depot on "
-                            << grid_->node(event.node).name() << " down";
+                            << grid_->node(event.node).name() << " down at t="
+                            << engine_->now();
         ibp_->setDepotUp(event.node, false);
       }
       ++counters_.depotOutages;
@@ -155,25 +156,26 @@ void ChaosDriver::revert(const ChaosEvent& event) {
       if (--linkDownDepth_[event.link] == 0) {
         GRADS_INFO("chaos") << "link "
                             << grid_->link(event.link).spec().name
-                            << " partition healed";
+                            << " partition healed at t=" << engine_->now();
         grid_->link(event.link).setUp(true);
       }
       break;
     case ChaosKind::kLinkDegrade:
       GRADS_INFO("chaos") << "link " << grid_->link(event.link).spec().name
-                          << " bandwidth restored";
+                          << " bandwidth restored at t=" << engine_->now();
       grid_->link(event.link).setBandwidthScale(1.0);
       break;
     case ChaosKind::kNwsOutage:
       if (--nwsDarkDepth_ == 0) {
-        GRADS_INFO("chaos") << "NWS sensors back";
+        GRADS_INFO("chaos") << "NWS sensors back at t=" << engine_->now();
         nws_->setDark(false);
       }
       break;
     case ChaosKind::kDepotOutage:
       if (--depotDownDepth_[event.node] == 0) {
         GRADS_INFO("chaos") << "IBP depot on "
-                            << grid_->node(event.node).name() << " back";
+                            << grid_->node(event.node).name() << " back at t="
+                            << engine_->now();
         ibp_->setDepotUp(event.node, true);
       }
       break;

@@ -9,7 +9,7 @@ void FailureInjector::failNow(grid::NodeId node, sim::Time detectionDelaySec,
                               sim::Time gisLagSec) {
   if (!gis_->isNodeReachable(node)) return;  // already down: idempotent
   GRADS_WARN("failure") << "node " << gis_->grid().node(node).name()
-                        << " fail-stopped";
+                        << " fail-stopped at t=" << engine_->now();
   gis_->setNodeReachable(node, false);
   ++failures_;
   if (gisLagSec <= 0.0) {
@@ -34,7 +34,7 @@ void FailureInjector::recoverNow(grid::NodeId node) {
   // drained) is not ours to resurrect.
   if (gis_->isNodeReachable(node)) return;
   GRADS_INFO("failure") << "node " << gis_->grid().node(node).name()
-                        << " recovered";
+                        << " recovered at t=" << engine_->now();
   gis_->setNodeReachable(node, true);
   gis_->setNodeUp(node, true);
 }

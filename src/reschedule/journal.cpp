@@ -1,0 +1,133 @@
+#include "reschedule/journal.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::reschedule {
+
+const char* actionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kMigrate: return "migrate";
+    case ActionKind::kSwap: return "swap";
+  }
+  return "?";
+}
+
+const char* actionStateName(ActionState state) {
+  switch (state) {
+    case ActionState::kPrepared: return "prepared";
+    case ActionState::kCommitting: return "committing";
+    case ActionState::kCommitted: return "committed";
+    case ActionState::kRolledBack: return "rolled-back";
+  }
+  return "?";
+}
+
+ActionJournal::ActionJournal(sim::Engine& engine) : engine_(&engine) {}
+
+int ActionJournal::open(const std::string& app, ActionKind kind,
+                        std::vector<grid::NodeId> prior,
+                        std::vector<grid::NodeId> target) {
+  GRADS_REQUIRE(openByApp_.count(app) == 0,
+                "ActionJournal::open: app already has an action in flight");
+  ActionRecord r;
+  r.id = static_cast<int>(records_.size()) + 1;
+  r.app = app;
+  r.kind = kind;
+  r.state = ActionState::kPrepared;
+  r.openedAt = engine_->now();
+  r.prior = std::move(prior);
+  r.target = std::move(target);
+  records_.push_back(std::move(r));
+  openByApp_[app] = records_.back().id;
+  ++inFlight_;
+  ++opened_;
+  GRADS_INFO("journal") << log::appAt(app, engine_->now()) << "action #"
+                        << records_.back().id << " ("
+                        << actionKindName(kind) << ") prepared";
+  return records_.back().id;
+}
+
+ActionRecord& ActionJournal::mutableRecord(int id) {
+  GRADS_REQUIRE(id >= 1 && id <= static_cast<int>(records_.size()),
+                "ActionJournal: unknown record id");
+  return records_[static_cast<std::size_t>(id) - 1];
+}
+
+const ActionRecord& ActionJournal::record(int id) const {
+  return const_cast<ActionJournal*>(this)->mutableRecord(id);
+}
+
+void ActionJournal::setTarget(int id, std::vector<grid::NodeId> target) {
+  ActionRecord& r = mutableRecord(id);
+  GRADS_REQUIRE(r.resolvedAt < 0.0, "ActionJournal::setTarget: resolved");
+  r.target = std::move(target);
+}
+
+void ActionJournal::beginCommit(int id) {
+  ActionRecord& r = mutableRecord(id);
+  GRADS_REQUIRE(r.state == ActionState::kPrepared,
+                "ActionJournal::beginCommit: not in prepared state");
+  r.state = ActionState::kCommitting;
+  GRADS_INFO("journal") << log::appAt(r.app, engine_->now()) << "action #"
+                        << r.id << " committing";
+}
+
+void ActionJournal::resolve(ActionRecord& r, ActionState state,
+                            const std::string& note) {
+  GRADS_REQUIRE(r.state == ActionState::kPrepared ||
+                    r.state == ActionState::kCommitting,
+                "ActionJournal: action already resolved");
+  r.state = state;
+  r.resolvedAt = engine_->now();
+  r.note = note;
+  openByApp_.erase(r.app);
+  lastResolved_[r.app] = r.resolvedAt;
+  --inFlight_;
+  if (state == ActionState::kCommitted) {
+    ++committed_;
+  } else {
+    ++rolledBack_;
+  }
+  GRADS_INFO("journal") << log::appAt(r.app, engine_->now()) << "action #"
+                        << r.id << " " << actionStateName(state)
+                        << (note.empty() ? "" : " (" + note + ")");
+  if (onResolve_) onResolve_(r);
+}
+
+void ActionJournal::commit(int id, const std::string& note) {
+  resolve(mutableRecord(id), ActionState::kCommitted, note);
+}
+
+void ActionJournal::rollback(int id, const std::string& note) {
+  resolve(mutableRecord(id), ActionState::kRolledBack, note);
+}
+
+const ActionRecord* ActionJournal::openAction(const std::string& app) const {
+  const auto it = openByApp_.find(app);
+  if (it == openByApp_.end()) return nullptr;
+  return &record(it->second);
+}
+
+double ActionJournal::lastResolvedAt(const std::string& app) const {
+  const auto it = lastResolved_.find(app);
+  return it == lastResolved_.end() ? -1.0 : it->second;
+}
+
+int ActionJournal::committedFor(const std::string& app) const {
+  int n = 0;
+  for (const auto& r : records_) {
+    if (r.app == app && r.state == ActionState::kCommitted) ++n;
+  }
+  return n;
+}
+
+int ActionJournal::rolledBackFor(const std::string& app) const {
+  int n = 0;
+  for (const auto& r : records_) {
+    if (r.app == app && r.state == ActionState::kRolledBack) ++n;
+  }
+  return n;
+}
+
+}  // namespace grads::reschedule

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "sim/engine.hpp"
+
+namespace grads::reschedule {
+
+/// What a journaled rescheduling action does to the application's mapping.
+enum class ActionKind {
+  kMigrate,  ///< stop/migrate/restart through the application manager
+  kSwap,     ///< single-rank process swap through the SwapManager
+};
+
+/// Transaction state machine of one rescheduling action:
+///
+///   kPrepared ──► kCommitting ──► kCommitted
+///       │              │
+///       └──────────────┴────────► kRolledBack
+///
+/// Prepare covers everything reversible (decision taken, stop requested,
+/// checkpoint written, target staged); commit is the irreversible handover
+/// (restore on the target / data moved to the new node); finalize closes the
+/// record. A fault in any phase before the commit point resolves the action
+/// as kRolledBack and the application resumes on its prior mapping.
+enum class ActionState { kPrepared, kCommitting, kCommitted, kRolledBack };
+
+const char* actionKindName(ActionKind kind);
+const char* actionStateName(ActionState state);
+
+/// One journaled action. `prior` is the pre-action mapping — the rollback
+/// target; `target` the intended post-action mapping (filled in when the
+/// commit-phase selection fixes it, for migrations).
+struct ActionRecord {
+  int id = 0;
+  std::string app;
+  ActionKind kind = ActionKind::kMigrate;
+  ActionState state = ActionState::kPrepared;
+  double openedAt = 0.0;
+  double resolvedAt = -1.0;  ///< < 0 while the action is still in flight
+  std::vector<grid::NodeId> prior;
+  std::vector<grid::NodeId> target;
+  std::string note;  ///< commit/rollback reason, for post-mortems
+};
+
+/// Persisted journal of rescheduling actions. "Persisted" in the simulation
+/// means the journal outlives any single incarnation and any single manager
+/// loop: a restarted application manager scans it (openAction) to learn it
+/// died holding an unresolved migration and must either commit or roll back
+/// before choosing fresh resources — the recovery scan of a write-ahead log.
+///
+/// Invariant: at most one open action per application (enforced at open()),
+/// so a rolled-back migration and a committing one can never both point at
+/// live application state — the "doubly mapped" failure mode is structurally
+/// excluded.
+class ActionJournal {
+ public:
+  explicit ActionJournal(sim::Engine& engine);
+
+  /// Opens a record in kPrepared. Throws if the app already has one open.
+  int open(const std::string& app, ActionKind kind,
+           std::vector<grid::NodeId> prior,
+           std::vector<grid::NodeId> target = {});
+
+  /// Updates the intended post-action mapping (commit-phase selection may
+  /// revise the prepare-time candidate once fresh NWS data is in).
+  void setTarget(int id, std::vector<grid::NodeId> target);
+
+  /// kPrepared -> kCommitting: the irreversible phase begins.
+  void beginCommit(int id);
+  /// Resolves the action as committed (finalize).
+  void commit(int id, const std::string& note = "");
+  /// Resolves the action as rolled back; the app resumes on record.prior.
+  void rollback(int id, const std::string& note);
+
+  const ActionRecord& record(int id) const;
+  const std::vector<ActionRecord>& records() const { return records_; }
+
+  /// The app's unresolved action, if any (the recovery scan). Null when the
+  /// app has no action in flight.
+  const ActionRecord* openAction(const std::string& app) const;
+
+  /// Unresolved actions across all apps (the governor's global
+  /// concurrent-action limit reads this).
+  int inFlight() const { return inFlight_; }
+
+  /// Virtual time the app's most recent action resolved (committed *or*
+  /// rolled back); negative if it never had one. Cooldown anchor.
+  double lastResolvedAt(const std::string& app) const;
+
+  int opened() const { return opened_; }
+  int committed() const { return committed_; }
+  int rolledBack() const { return rolledBack_; }
+  int committedFor(const std::string& app) const;
+  int rolledBackFor(const std::string& app) const;
+
+  /// Called on every resolve (commit or rollback) with the final record —
+  /// fault-campaign drivers watch this to time mid-action injections.
+  void setOnResolve(std::function<void(const ActionRecord&)> fn) {
+    onResolve_ = std::move(fn);
+  }
+
+ private:
+  ActionRecord& mutableRecord(int id);
+  void resolve(ActionRecord& r, ActionState state, const std::string& note);
+
+  sim::Engine* engine_;
+  std::vector<ActionRecord> records_;
+  std::map<std::string, int> openByApp_;  ///< app -> open record id
+  std::map<std::string, double> lastResolved_;
+  int inFlight_ = 0;
+  int opened_ = 0;
+  int committed_ = 0;
+  int rolledBack_ = 0;
+  std::function<void(const ActionRecord&)> onResolve_;
+};
+
+}  // namespace grads::reschedule

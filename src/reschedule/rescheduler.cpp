@@ -69,15 +69,27 @@ MigrationDecision StopRestartRescheduler::evaluate(
 autopilot::RescheduleOutcome StopRestartRescheduler::onViolation(
     const core::Cop& cop, Rss& rss, const std::vector<grid::NodeId>& current,
     std::size_t phase) {
+  if (rss.stopRequested()) {
+    // A stop is already in flight (and, with a journal, an open action
+    // record exists); re-raising would double-open the transaction.
+    return autopilot::RescheduleOutcome::kMigrated;
+  }
   MigrationDecision d = evaluate(cop, current, phase);
+  const double now = gis_->grid().engine().now();
   GRADS_INFO("rescheduler")
-      << cop.name << ": violation at phase " << phase << " -> "
+      << log::appAt(cop.name, now) << "violation at phase " << phase << " -> "
       << (d.migrate ? "migrate" : "stay") << " (" << d.reason
       << "; cur=" << d.remainingOnCurrentSec
       << "s new=" << d.remainingOnTargetSec << "s +"
       << d.assumedMigrationCostSec << "s)";
   decisions_.push_back(d);
   if (!d.migrate) return autopilot::RescheduleOutcome::kDeclined;
+  if (journal_ != nullptr) {
+    // Prepare phase: journal the intent (with the rollback mapping) before
+    // any state changes. The stop/checkpoint/restart sequence that follows
+    // is owned by the application manager, which resolves this record.
+    journal_->open(cop.name, ActionKind::kMigrate, current, d.target);
+  }
   rss.requestStop();
   return autopilot::RescheduleOutcome::kMigrated;
 }
@@ -98,12 +110,20 @@ void StopRestartRescheduler::onAppCompleted() {
   if (!opts_.opportunistic) return;
   for (auto& [name, app] : running_) {
     if (app.rss->stopRequested()) continue;  // already migrating
-    MigrationDecision d = evaluate(*app.cop, app.mapping(), app.phase());
+    if (journal_ != nullptr && journal_->openAction(name) != nullptr) {
+      continue;  // an action is still resolving; don't stack another
+    }
+    const std::vector<grid::NodeId> current = app.mapping();
+    MigrationDecision d = evaluate(*app.cop, current, app.phase());
     decisions_.push_back(d);
     if (d.migrate) {
       GRADS_INFO("rescheduler")
-          << name << ": opportunistic migration to freed resources ("
-          << d.reason << ")";
+          << log::appAt(name, gis_->grid().engine().now())
+          << "opportunistic migration to freed resources (" << d.reason
+          << ")";
+      if (journal_ != nullptr) {
+        journal_->open(name, ActionKind::kMigrate, current, d.target);
+      }
       app.rss->requestStop();
     }
   }

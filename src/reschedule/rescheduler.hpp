@@ -7,6 +7,7 @@
 
 #include "autopilot/contract.hpp"
 #include "core/cop.hpp"
+#include "reschedule/journal.hpp"
 #include "reschedule/srs.hpp"
 #include "services/gis.hpp"
 #include "services/nws.hpp"
@@ -84,9 +85,16 @@ class StopRestartRescheduler {
   }
   ReschedulerOptions& options() { return opts_; }
 
+  /// When set, every migrate decision opens a journaled transaction
+  /// (prepare phase) before the stop is requested; the application manager
+  /// drives it through commit or rollback.
+  void setJournal(ActionJournal* journal) { journal_ = journal; }
+  ActionJournal* journal() const { return journal_; }
+
  private:
   const services::Gis* gis_;
   const services::Nws* nws_;
+  ActionJournal* journal_ = nullptr;
   ReschedulerOptions opts_;
   std::map<std::string, RunningApp> running_;
   std::vector<MigrationDecision> decisions_;

@@ -14,8 +14,8 @@ Rss::Rss(sim::Engine& engine, std::string appName)
 
 void Rss::requestStop() {
   if (!stopRequested_) {
-    GRADS_INFO("rss") << app_ << ": stop requested at t="
-                      << engine_->now();
+    GRADS_INFO("rss") << log::appAt(app_, engine_->now())
+                      << "stop requested";
   }
   stopRequested_ = true;
 }
@@ -46,13 +46,13 @@ void Rss::markFailure(grid::NodeId node) {
     // migrated off (or never mapped). The incarnation is healthy — aborting
     // it would turn a stale signal into a real outage.
     ++ignoredFailures_;
-    GRADS_INFO("rss") << app_ << ": ignoring failure of unoccupied node at t="
-                      << engine_->now();
+    GRADS_INFO("rss") << log::appAt(app_, engine_->now())
+                      << "ignoring failure of unoccupied node";
     return;
   }
   if (!failureSignaled_) {
-    GRADS_WARN("rss") << app_ << ": node failure signaled at t="
-                      << engine_->now();
+    GRADS_WARN("rss") << log::appAt(app_, engine_->now())
+                      << "node failure signaled";
   }
   failureSignaled_ = true;
   failedNode_ = node;
@@ -63,7 +63,8 @@ void Rss::storeIteration(std::size_t it) { storeIterationFor(incarnation_, it); 
 bool Rss::storeIterationFor(int epoch, std::size_t it) {
   if (epoch != incarnation_) {
     ++staleEpochRejects_;
-    GRADS_WARN("rss") << app_ << ": zombie publish (epoch " << epoch
+    GRADS_WARN("rss") << log::appAt(app_, engine_->now())
+                      << "zombie publish (epoch " << epoch
                       << " vs live " << incarnation_ << ") dropped";
     return false;
   }
@@ -83,7 +84,8 @@ bool Rss::stageSlice(int epoch, const std::string& array, int rank,
                      SliceEntry entry, int arraysPerRank) {
   if (epoch != incarnation_) {
     ++staleEpochRejects_;
-    GRADS_WARN("rss") << app_ << ": zombie slice stage (epoch " << epoch
+    GRADS_WARN("rss") << log::appAt(app_, engine_->now())
+                      << "zombie slice stage (epoch " << epoch
                       << " vs live " << incarnation_ << ") dropped";
     return false;
   }
@@ -237,11 +239,13 @@ sim::Task Srs::writeCheckpoint(int rank) {
                          bytes, depot, node, fence);
       primaryOk = true;
     } catch (const services::DepotDownError&) {
-      GRADS_WARN("srs") << rss_->appName() << " rank " << rank
+      GRADS_WARN("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                        << "rank " << rank
                         << ": primary depot dark, checkpoint copy skipped";
     } catch (const services::StaleEpochError&) {
       ++staleWriteRejects_;
-      GRADS_WARN("srs") << rss_->appName() << " rank " << rank
+      GRADS_WARN("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                        << "rank " << rank
                         << ": primary write fenced out (stale epoch "
                         << epoch_ << ")";
     }
@@ -253,11 +257,13 @@ sim::Task Srs::writeCheckpoint(int rank) {
                            bytes, replicaDepot_, node, fence);
         replicaOk = true;
       } catch (const services::DepotDownError&) {
-        GRADS_WARN("srs") << rss_->appName() << " rank " << rank
+        GRADS_WARN("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                          << "rank " << rank
                           << ": replica depot dark, mirror copy skipped";
       } catch (const services::StaleEpochError&) {
         ++staleWriteRejects_;
-        GRADS_WARN("srs") << rss_->appName() << " rank " << rank
+        GRADS_WARN("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                          << "rank " << rank
                           << ": replica write fenced out (stale epoch "
                           << epoch_ << ")";
       }
@@ -281,8 +287,8 @@ sim::Task Srs::writeCheckpoint(int rank) {
   }
   if (allWritten && epoch_ == rss_->incarnation()) rss_->markCheckpoint();
   writeEnd_ = std::max(writeEnd_, world_->engine().now());
-  GRADS_DEBUG("srs") << rss_->appName() << " rank " << rank
-                     << ": checkpoint written";
+  GRADS_DEBUG("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                     << "rank " << rank << ": checkpoint written";
 }
 
 bool sliceCopyVerifies(const services::Ibp& ibp, const std::string& key,
@@ -296,7 +302,8 @@ bool Srs::copyUsable(const std::string& key, const Rss::SliceEntry* want) {
   if (!verify_ || want == nullptr) return true;
   if (sliceCopyVerifies(*ibp_, key, *want)) return true;
   ++integrityRejects_;
-  GRADS_WARN("srs") << rss_->appName() << ": integrity check failed for "
+  GRADS_WARN("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                    << "integrity check failed for "
                     << key << ", copy rejected";
   return false;
 }
@@ -371,10 +378,18 @@ sim::Task Srs::restoreCheckpoint(int rank) {
     }
   }
   restored_ = true;
+  ++ranksRestored_;
   readEnd_ = std::max(readEnd_, world_->engine().now());
-  GRADS_DEBUG("srs") << rss_->appName() << " rank " << rank
-                     << ": checkpoint restored (gen " << gen << ", " << oldP
-                     << " -> " << newP << " procs)";
+  GRADS_DEBUG("srs") << log::appAt(rss_->appName(), world_->engine().now())
+                     << "rank " << rank << ": checkpoint restored (gen "
+                     << gen << ", " << oldP << " -> " << newP << " procs)";
+  if (ranksRestored_ == world_->size() && onAllRestored_) {
+    // Every rank of the new incarnation holds its share: the migration's
+    // point of no return. Notify before returning control to the app.
+    auto fn = std::move(onAllRestored_);
+    onAllRestored_ = nullptr;
+    fn();
+  }
 }
 
 std::optional<int> findRestorableGeneration(

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -223,6 +224,15 @@ class Srs {
 
   bool restoredThisIncarnation() const { return restored_; }
 
+  /// Ranks that completed restoreCheckpoint() this incarnation.
+  int ranksRestored() const { return ranksRestored_; }
+  /// Fires once, when the last rank finishes restoring — the commit point of
+  /// a journaled migration: every rank is live on the new mapping, so the
+  /// action can no longer be rolled back.
+  void setOnAllRestored(std::function<void()> fn) {
+    onAllRestored_ = std::move(fn);
+  }
+
   /// Ground truth: slices delivered to the application whose content did
   /// not match the manifest (only possible with verification off).
   int corruptSliceReads() const { return corruptSliceReads_; }
@@ -285,6 +295,8 @@ class Srs {
   int epoch_ = 0;       ///< incarnation captured at construction
   bool verify_ = true;
   bool restored_ = false;
+  int ranksRestored_ = 0;
+  std::function<void()> onAllRestored_;
   int corruptSliceReads_ = 0;
   int integrityRejects_ = 0;
   int staleWriteRejects_ = 0;

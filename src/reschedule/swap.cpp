@@ -52,6 +52,10 @@ double SwapManager::nodeRate(grid::NodeId node) const {
   return avail * n.spec().effectiveFlopsPerCpu();
 }
 
+bool SwapManager::reachable(grid::NodeId node) const {
+  return gis_ == nullptr || gis_->isNodeReachable(node);
+}
+
 std::vector<grid::NodeId> SwapManager::inactiveNodes() const {
   std::set<grid::NodeId> active(world_->mapping().begin(),
                                 world_->mapping().end());
@@ -59,7 +63,7 @@ std::vector<grid::NodeId> SwapManager::inactiveNodes() const {
   for (const auto& c : pending_) active.insert(c.to);
   std::vector<grid::NodeId> out;
   for (const auto n : pool_) {
-    if (active.count(n) == 0) out.push_back(n);
+    if (active.count(n) == 0 && reachable(n)) out.push_back(n);
   }
   return out;
 }
@@ -127,7 +131,11 @@ void SwapManager::evaluate() {
     case SwapPolicy::kPeriodicBest: {
       // Keep the k individually-fastest pool nodes active, ignoring
       // communication structure (the classic strawman).
-      std::vector<grid::NodeId> sorted = pool_;
+      std::vector<grid::NodeId> sorted;
+      for (const auto n : pool_) {
+        if (reachable(n)) sorted.push_back(n);
+      }
+      if (sorted.size() < static_cast<std::size_t>(world_->size())) break;
       std::sort(sorted.begin(), sorted.end(),
                 [this](grid::NodeId a, grid::NodeId b) {
                   return nodeRate(a) > nodeRate(b);
@@ -159,7 +167,9 @@ void SwapManager::evaluate() {
       const std::size_t k = static_cast<std::size_t>(world_->size());
       std::vector<std::vector<grid::NodeId>> candidates{mapping};
       std::map<grid::ClusterId, std::vector<grid::NodeId>> byCluster;
-      for (const auto n : pool_) byCluster[g.node(n).cluster()].push_back(n);
+      for (const auto n : pool_) {
+        if (reachable(n)) byCluster[g.node(n).cluster()].push_back(n);
+      }
       for (auto& [cluster, nodes] : byCluster) {
         (void)cluster;
         if (nodes.size() < k) continue;
@@ -207,20 +217,69 @@ void SwapManager::start() {
 
 sim::Task SwapManager::atIterationBoundary(int rank) {
   // The hijacked communication point: rank 0 applies pending swaps, paying
-  // the process-image transfer for each; everyone then resynchronizes.
+  // the process-image transfer for each; everyone then resynchronizes. Each
+  // swap is a transaction: prepare stages the retarget (the live mapping is
+  // untouched, so the rank keeps communicating from its old node), commit
+  // moves the process image and flips the mapping, and any fault in between
+  // — transfer failure, either endpoint dying under us — aborts the staged
+  // retarget and the rank stays exactly where it was.
   if (rank == 0 && !pending_.empty()) {
     std::vector<Command> cmds = std::move(pending_);
     pending_.clear();
     for (const auto& c : cmds) {
       const grid::NodeId from = world_->nodeOf(c.rank);
       if (from == c.to) continue;
-      co_await world_->grid().transfer(from, c.to, cfg_.perProcessDataBytes);
-      world_->setNodeOf(c.rank, c.to);
-      history_.push_back(
-          SwapEvent{world_->engine().now(), c.rank, from, c.to});
-      GRADS_INFO("swap") << world_->name() << ": rank " << c.rank
-                         << " swapped " << world_->grid().node(from).name()
-                         << " -> " << world_->grid().node(c.to).name();
+      if (!reachable(from) || !reachable(c.to)) {
+        // Prepare-time validation: the node died between policy evaluation
+        // (enqueue) and this boundary. Nothing was staged, nothing to undo.
+        GRADS_INFO("swap") << log::appAt(world_->name(),
+                                         world_->engine().now())
+                           << "rank " << c.rank << " swap to "
+                           << world_->grid().node(c.to).name()
+                           << " dropped at prepare: "
+                           << (reachable(from) ? "target" : "source")
+                           << " node unreachable";
+        continue;
+      }
+      world_->beginRetarget(c.rank, c.to);
+      int txn = -1;
+      if (journal_ != nullptr) {
+        txn = journal_->open(world_->name(), ActionKind::kSwap, {from},
+                             {c.to});
+        journal_->beginCommit(txn);
+      }
+      std::exception_ptr failure;
+      try {
+        co_await world_->grid().transfer(from, c.to,
+                                         cfg_.perProcessDataBytes);
+      } catch (const std::exception&) {
+        failure = std::current_exception();
+      }
+      // The transfer took simulated time; re-validate both endpoints at the
+      // commit point before flipping the mapping.
+      if (failure == nullptr && reachable(c.to) && reachable(from)) {
+        world_->commitRetarget(c.rank);
+        if (txn >= 0) journal_->commit(txn);
+        history_.push_back(
+            SwapEvent{world_->engine().now(), c.rank, from, c.to});
+        GRADS_INFO("swap") << log::appAt(world_->name(),
+                                         world_->engine().now())
+                           << "rank " << c.rank << " swapped "
+                           << world_->grid().node(from).name() << " -> "
+                           << world_->grid().node(c.to).name();
+      } else {
+        world_->abortRetarget(c.rank);
+        ++rolledBack_;
+        const char* why = failure != nullptr ? "transfer failed"
+                          : !reachable(c.to) ? "target died mid-transfer"
+                                             : "source died mid-transfer";
+        if (txn >= 0) journal_->rollback(txn, why);
+        GRADS_INFO("swap") << log::appAt(world_->name(),
+                                         world_->engine().now())
+                           << "rank " << c.rank << " swap to "
+                           << world_->grid().node(c.to).name()
+                           << " rolled back: " << why;
+      }
     }
   }
   co_await world_->barrier(rank);

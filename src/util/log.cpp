@@ -36,6 +36,12 @@ Level parseLevel(const std::string& name) {
   throw InvalidArgument("unknown log level: " + name);
 }
 
+std::string appAt(const std::string& app, double tSec) {
+  char t[32];
+  std::snprintf(t, sizeof t, "%.1f", tSec);
+  return app + "@t=" + t + "s: ";
+}
+
 void write(Level level, const std::string& component, const std::string& msg) {
   if (!enabled(level)) return;
   auto& cfg = config();

@@ -27,6 +27,12 @@ const char* levelName(Level level);
 /// Parses "trace" | "debug" | "info" | "warn" | "error" | "off".
 Level parseLevel(const std::string& name);
 
+/// Uniform attribution prefix for trace lines: "qr@t=123.4s: ". Campaign
+/// logs interleave many apps across thousands of virtual seconds; every
+/// rescheduling-path message leads with this so a grep for one app (or one
+/// time window) reconstructs its action history.
+std::string appAt(const std::string& app, double tSec);
+
 namespace detail {
 class LineBuilder {
  public:

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include "apps/qr.hpp"
+#include "core/app_manager.hpp"
+#include "grid/load.hpp"
+#include "grid/testbeds.hpp"
+#include "reschedule/governor.hpp"
+#include "reschedule/journal.hpp"
+#include "reschedule/rescheduler.hpp"
+#include "services/gis.hpp"
+#include "services/ibp.hpp"
+#include "services/nws.hpp"
+#include "util/error.hpp"
+
+namespace grads::reschedule {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+// ---------------------------------------------------------------------------
+// ActionJournal: the write-ahead log of rescheduling transactions.
+// ---------------------------------------------------------------------------
+
+TEST(Journal, OpenCommitLifecycle) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  EXPECT_EQ(j.openAction("qr"), nullptr);
+  EXPECT_LT(j.lastResolvedAt("qr"), 0.0);
+
+  const int id = j.open("qr", ActionKind::kMigrate, {1, 2}, {});
+  EXPECT_EQ(j.inFlight(), 1);
+  ASSERT_NE(j.openAction("qr"), nullptr);
+  EXPECT_EQ(j.openAction("qr")->id, id);
+  EXPECT_EQ(j.record(id).state, ActionState::kPrepared);
+  EXPECT_EQ(j.record(id).prior, (std::vector<grid::NodeId>{1, 2}));
+
+  j.setTarget(id, {5, 6});
+  EXPECT_EQ(j.record(id).target, (std::vector<grid::NodeId>{5, 6}));
+  j.beginCommit(id);
+  EXPECT_EQ(j.record(id).state, ActionState::kCommitting);
+  j.commit(id, "all ranks restored");
+  EXPECT_EQ(j.record(id).state, ActionState::kCommitted);
+  EXPECT_GE(j.record(id).resolvedAt, 0.0);
+  EXPECT_EQ(j.record(id).note, "all ranks restored");
+  EXPECT_EQ(j.openAction("qr"), nullptr);
+  EXPECT_EQ(j.inFlight(), 0);
+  EXPECT_EQ(j.committed(), 1);
+  EXPECT_EQ(j.committedFor("qr"), 1);
+  EXPECT_EQ(j.rolledBack(), 0);
+  EXPECT_GE(j.lastResolvedAt("qr"), 0.0);
+}
+
+TEST(Journal, RollbackResolvesFromEitherPhase) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  // Rollback straight from kPrepared (fault during the reversible phase).
+  const int a = j.open("qr", ActionKind::kMigrate, {1});
+  j.rollback(a, "checkpoint incomplete");
+  EXPECT_EQ(j.record(a).state, ActionState::kRolledBack);
+  EXPECT_EQ(j.record(a).note, "checkpoint incomplete");
+  // Rollback from kCommitting (fault inside the commit window).
+  const int b = j.open("qr", ActionKind::kSwap, {2}, {3});
+  j.beginCommit(b);
+  j.rollback(b, "target died mid-transfer");
+  EXPECT_EQ(j.record(b).state, ActionState::kRolledBack);
+  EXPECT_EQ(j.rolledBack(), 2);
+  EXPECT_EQ(j.rolledBackFor("qr"), 2);
+  EXPECT_EQ(j.inFlight(), 0);
+}
+
+TEST(Journal, SecondOpenForSameAppThrows) {
+  // At most one open action per app: the "doubly mapped" failure mode is
+  // structurally excluded.
+  sim::Engine eng;
+  ActionJournal j(eng);
+  j.open("qr", ActionKind::kMigrate, {1});
+  EXPECT_THROW(j.open("qr", ActionKind::kSwap, {1}), InvalidArgument);
+  // A different app is fine, and resolving reopens the slot.
+  EXPECT_NO_THROW(j.open("other", ActionKind::kMigrate, {2}));
+  j.rollback(j.openAction("qr")->id, "fault");
+  EXPECT_NO_THROW(j.open("qr", ActionKind::kMigrate, {1}));
+}
+
+TEST(Journal, RecoveryScanFindsOnlyUnresolvedActions) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  const int a = j.open("a", ActionKind::kMigrate, {1});
+  j.open("b", ActionKind::kMigrate, {2});
+  j.commit(a);
+  EXPECT_EQ(j.openAction("a"), nullptr);
+  ASSERT_NE(j.openAction("b"), nullptr);
+  EXPECT_EQ(j.inFlight(), 1);
+}
+
+TEST(Journal, OnResolveFiresForCommitAndRollback) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  int resolves = 0;
+  ActionState last = ActionState::kPrepared;
+  j.setOnResolve([&](const ActionRecord& r) {
+    ++resolves;
+    last = r.state;
+  });
+  j.commit(j.open("a", ActionKind::kMigrate, {1}));
+  EXPECT_EQ(resolves, 1);
+  EXPECT_EQ(last, ActionState::kCommitted);
+  j.rollback(j.open("a", ActionKind::kMigrate, {1}), "fault");
+  EXPECT_EQ(resolves, 2);
+  EXPECT_EQ(last, ActionState::kRolledBack);
+}
+
+// ---------------------------------------------------------------------------
+// ViolationGovernor: quorum, hysteresis, cooldown, concurrency.
+// ---------------------------------------------------------------------------
+
+autopilot::ViolationReport report(std::size_t phase, double avgRatio = 3.0,
+                                  double upper = 1.5) {
+  autopilot::ViolationReport r;
+  r.app = "qr";
+  r.phase = phase;
+  r.ratio = avgRatio;
+  r.avgRatio = avgRatio;
+  r.upperTolerance = upper;
+  return r;
+}
+
+TEST(Governor, QuorumRequiresKViolatingPhases) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 3;
+  opts.quorumN = 5;
+  opts.cooldownSec = 0.0;
+  ViolationGovernor gov(eng, j, opts);
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(2)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(3)), GovernorVerdict::kAdmit);
+  EXPECT_EQ(gov.stats().admitted, 1);
+  EXPECT_EQ(gov.stats().quorumPending, 2);
+}
+
+TEST(Governor, SamePhaseReRaiseDoesNotCountTwice) {
+  // One slow phase re-confirmed by several windowed averages is a single
+  // sensor reading, not a quorum.
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 2;
+  opts.cooldownSec = 0.0;
+  ViolationGovernor gov(eng, j, opts);
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(2)), GovernorVerdict::kAdmit);
+}
+
+TEST(Governor, QuorumWindowPrunesOldPhases) {
+  // Two violations quorumN phases apart never co-exist in the window.
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 2;
+  opts.quorumN = 4;
+  opts.cooldownSec = 0.0;
+  ViolationGovernor gov(eng, j, opts);
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(10)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(11)), GovernorVerdict::kAdmit);
+}
+
+TEST(Governor, HysteresisBandSuppressesMarginalRatios) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 2;
+  opts.hysteresisBand = 0.1;  // threshold = 1.5 * 1.1 = 1.65
+  opts.cooldownSec = 0.0;
+  ViolationGovernor gov(eng, j, opts);
+  EXPECT_EQ(gov.admit(report(1, 1.6)), GovernorVerdict::kQuorumPending);
+  // Quorum reached, but the windowed ratio hovers inside the dead band.
+  EXPECT_EQ(gov.admit(report(2, 1.6)), GovernorVerdict::kInsideHysteresis);
+  EXPECT_EQ(gov.admit(report(3, 1.6)), GovernorVerdict::kInsideHysteresis);
+  // A genuinely degraded ratio clears the band and goes through.
+  EXPECT_EQ(gov.admit(report(4, 1.7)), GovernorVerdict::kAdmit);
+}
+
+TEST(Governor, CooldownAfterResolvedAction) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 2;
+  opts.cooldownSec = 180.0;
+  ViolationGovernor gov(eng, j, opts);
+  // An action just resolved (commit at t=10).
+  eng.runUntil(10.0);
+  j.commit(j.open("qr", ActionKind::kMigrate, {1}));
+  eng.runUntil(20.0);
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(2)), GovernorVerdict::kCoolingDown);
+  // Rollbacks anchor the cooldown too (a failed action must not be
+  // immediately retried into the same fault).
+  eng.runUntil(100.0);
+  EXPECT_EQ(gov.admit(report(3)), GovernorVerdict::kCoolingDown);
+  // Past the window, the same sustained signal goes through.
+  eng.runUntil(10.0 + 180.0 + 1.0);
+  EXPECT_EQ(gov.admit(report(4)), GovernorVerdict::kAdmit);
+  EXPECT_EQ(gov.statsFor("qr").coolingDown, 2);
+}
+
+TEST(Governor, ConcurrencyLimitCountsOpenActions) {
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 2;
+  opts.cooldownSec = 0.0;
+  opts.maxConcurrentActions = 1;
+  ViolationGovernor gov(eng, j, opts);
+  // Another application holds an open (unresolved) action.
+  const int other = j.open("other-app", ActionKind::kMigrate, {9});
+  EXPECT_EQ(gov.admit(report(1)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(2)), GovernorVerdict::kConcurrencyLimited);
+  // The slot frees when the action resolves.
+  j.commit(other);
+  EXPECT_EQ(gov.admit(report(3)), GovernorVerdict::kAdmit);
+}
+
+TEST(Governor, ResetAppClearsQuorumHistory) {
+  // Phase numbering restarts after a migration; pre-restart violations must
+  // not count toward a post-restart quorum.
+  sim::Engine eng;
+  ActionJournal j(eng);
+  GovernorOptions opts;
+  opts.quorumK = 2;
+  opts.cooldownSec = 0.0;
+  ViolationGovernor gov(eng, j, opts);
+  EXPECT_EQ(gov.admit(report(3)), GovernorVerdict::kQuorumPending);
+  gov.resetApp("qr");
+  EXPECT_EQ(gov.admit(report(4)), GovernorVerdict::kQuorumPending);
+  EXPECT_EQ(gov.admit(report(5)), GovernorVerdict::kAdmit);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end anti-thrash scenario: antiphase flapping load on a symmetric
+// two-cluster testbed. Ungoverned, the rescheduler chases the load
+// (migrate → migrate-back, repeatedly); governed, the same signals produce
+// at most the initial migration and zero oscillations.
+// ---------------------------------------------------------------------------
+
+struct FlapTestbed {
+  grid::ClusterId east = grid::kNoId;
+  grid::ClusterId west = grid::kNoId;
+  std::vector<grid::NodeId> eastNodes;
+  std::vector<grid::NodeId> westNodes;
+};
+
+FlapTestbed buildFlapTestbed(grid::Grid& g) {
+  FlapTestbed tb;
+  tb.east = g.addCluster(
+      grid::ClusterSpec{"east", "East", grid::fastEthernetLan("east.lan", 4)});
+  tb.west = g.addCluster(
+      grid::ClusterSpec{"west", "West", grid::fastEthernetLan("west.lan", 4)});
+  for (int i = 0; i < 4; ++i) {
+    tb.eastNodes.push_back(g.addNode(tb.east, grid::utkQrNodeSpec(i)));
+    tb.westNodes.push_back(g.addNode(tb.west, grid::utkQrNodeSpec(i + 4)));
+  }
+  g.connectClusters(tb.east, tb.west,
+                    grid::internetWan("east-west.wan", 0.005, 12.0 * kMB));
+  return tb;
+}
+
+grid::LoadTrace squareWave(double firstOnset, double period, double weight,
+                           int cycles) {
+  std::vector<grid::LoadPhase> phases;
+  for (int c = 0; c < cycles; ++c) {
+    const double on = firstOnset + 2.0 * period * c;
+    phases.push_back({on, weight});
+    phases.push_back({on + period, 0.0});
+  }
+  return grid::LoadTrace(phases);
+}
+
+int countOscillations(const std::vector<std::vector<grid::NodeId>>& maps) {
+  int n = 0;
+  for (std::size_t i = 2; i < maps.size(); ++i) {
+    if (maps[i] == maps[i - 2] && maps[i] != maps[i - 1]) ++n;
+  }
+  return n;
+}
+
+struct FlapOutcome {
+  int migrations = 0;
+  int oscillations = 0;
+  int suppressed = 0;
+};
+
+FlapOutcome runFlappingLoad(bool governed) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = buildFlapTestbed(g);
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kScalapack);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  gis.installEverywhere(services::software::kAutopilotSensors);
+  services::Nws nws(eng, g, 10.0, 0.02, 17);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+
+  const double period = 90.0;
+  for (const auto n : tb.eastNodes) {
+    grid::applyLoadTrace(eng, g.node(n), squareWave(period, period, 3.0, 10));
+  }
+  for (const auto n : tb.westNodes) {
+    grid::applyLoadTrace(eng, g.node(n),
+                         squareWave(2.0 * period, period, 3.0, 10));
+  }
+
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  const core::Cop cop = apps::makeQrCop(g, cfg);
+
+  ActionJournal journal(eng);
+  ReschedulerOptions ropts;
+  ropts.worstCaseMigrationSec = 40.0;
+  StopRestartRescheduler rescheduler(gis, &nws, ropts);
+  rescheduler.setJournal(&journal);
+
+  GovernorOptions gopts;
+  gopts.cooldownSec = 600.0;
+  ViolationGovernor governor(eng, journal, gopts);
+
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+  core::ManagerOptions mopts;
+  mopts.journal = &journal;
+  mopts.governor = governed ? &governor : nullptr;
+
+  core::RunBreakdown bd;
+  eng.spawn(mgr.run(cop, &rescheduler, mopts, &bd), "qr");
+  eng.run();
+  eng.rethrowIfFailed();
+  EXPECT_GT(bd.totalSeconds, 0.0);
+  FlapOutcome out;
+  out.migrations = bd.incarnations > 0 ? bd.incarnations - 1 : 0;
+  out.oscillations = countOscillations(bd.mappings);
+  out.suppressed = bd.violationsSuppressed;
+  return out;
+}
+
+TEST(Governor, FlappingLoadThrashesUngoverned) {
+  const FlapOutcome raw = runFlappingLoad(false);
+  EXPECT_GE(raw.migrations, 4);
+  EXPECT_GE(raw.oscillations, 3);
+  EXPECT_EQ(raw.suppressed, 0);
+}
+
+TEST(Governor, FlappingLoadGovernedDoesNotOscillate) {
+  const FlapOutcome governed = runFlappingLoad(true);
+  EXPECT_LE(governed.migrations, 1);
+  EXPECT_EQ(governed.oscillations, 0);
+  EXPECT_GT(governed.suppressed, 0);
+}
+
+}  // namespace
+}  // namespace grads::reschedule

@@ -2,8 +2,11 @@
 
 #include "apps/nbody.hpp"
 #include "apps/qr.hpp"
+#include "core/app_manager.hpp"
 #include "grid/load.hpp"
 #include "grid/testbeds.hpp"
+#include "reschedule/failure.hpp"
+#include "reschedule/journal.hpp"
 #include "reschedule/rescheduler.hpp"
 #include "reschedule/srs.hpp"
 #include "reschedule/swap.hpp"
@@ -401,6 +404,114 @@ TEST(Swap, PredictIterationAccountsForLatency) {
   EXPECT_GT(mixed, utkOnly + 0.1);
 }
 
+TEST(Swap, TargetDiesMidTransferRollsBack) {
+  // A swap is a transaction: the target node dies while the process image
+  // is in flight (between prepare and commit), so the staged retarget must
+  // be aborted and the rank must stay exactly where it was.
+  SwapFixture f;
+  services::Gis gis(f.g);
+  ActionJournal journal(f.eng);
+  SwapManager swap(*f.world, f.pool, nullptr, f.config(SwapPolicy::kGreedy));
+  swap.setGis(&gis);
+  swap.setJournal(&journal);
+  f.g.node(f.tb.utkNodes[0]).injectLoad(3.0);
+  swap.evaluate();
+  ASSERT_EQ(swap.pendingSwaps(), 1u);
+  const grid::NodeId before = f.world->nodeOf(0);
+  // The 4 MB image takes ~2 s across the 2 MB/s WAN; kill every candidate
+  // target 1 s in, squarely mid-transfer.
+  f.eng.scheduleDaemon(1.0, [&] {
+    for (const auto id : f.tb.uiucNodes) gis.setNodeReachable(id, false);
+  });
+  for (int r = 0; r < 3; ++r) {
+    f.eng.spawn([](SwapManager& s, int rank) -> sim::Task {
+      co_await s.atIterationBoundary(rank);
+    }(swap, r));
+  }
+  f.eng.run();
+  EXPECT_EQ(f.world->nodeOf(0), before);  // prior active set restored
+  EXPECT_TRUE(swap.history().empty());
+  EXPECT_EQ(swap.committedSwaps(), 0);
+  EXPECT_EQ(swap.rolledBackSwaps(), 1);
+  EXPECT_EQ(f.world->retargetsAborted(), 1);
+  EXPECT_EQ(f.world->retargetsCommitted(), 0);
+  EXPECT_EQ(journal.rolledBack(), 1);
+  EXPECT_EQ(journal.inFlight(), 0);
+  ASSERT_EQ(journal.records().size(), 1u);
+  EXPECT_EQ(journal.records()[0].state, ActionState::kRolledBack);
+  EXPECT_EQ(journal.records()[0].prior, std::vector<grid::NodeId>{before});
+}
+
+TEST(Swap, SourceDiesMidTransferRollsBack) {
+  // Same window, other endpoint: the rank's *current* node dies while its
+  // image is being copied out. The commit-point re-validation must catch it
+  // and abort rather than flip the mapping onto a half-moved process.
+  SwapFixture f;
+  services::Gis gis(f.g);
+  ActionJournal journal(f.eng);
+  SwapManager swap(*f.world, f.pool, nullptr, f.config(SwapPolicy::kGreedy));
+  swap.setGis(&gis);
+  swap.setJournal(&journal);
+  f.g.node(f.tb.utkNodes[0]).injectLoad(3.0);
+  swap.evaluate();
+  ASSERT_EQ(swap.pendingSwaps(), 1u);
+  const grid::NodeId before = f.world->nodeOf(0);
+  f.eng.scheduleDaemon(
+      1.0, [&] { gis.setNodeReachable(f.tb.utkNodes[0], false); });
+  for (int r = 0; r < 3; ++r) {
+    f.eng.spawn([](SwapManager& s, int rank) -> sim::Task {
+      co_await s.atIterationBoundary(rank);
+    }(swap, r));
+  }
+  f.eng.run();
+  EXPECT_EQ(f.world->nodeOf(0), before);
+  EXPECT_TRUE(swap.history().empty());
+  EXPECT_EQ(swap.rolledBackSwaps(), 1);
+  EXPECT_EQ(f.world->retargetsAborted(), 1);
+  EXPECT_EQ(journal.rolledBack(), 1);
+  EXPECT_EQ(journal.inFlight(), 0);
+}
+
+TEST(Swap, UnreachableTargetDroppedAtPrepare) {
+  // The target died between policy evaluation and the iteration boundary:
+  // prepare-time validation drops the command before anything is staged —
+  // no journal record, no retarget, no rollback.
+  SwapFixture f;
+  services::Gis gis(f.g);
+  ActionJournal journal(f.eng);
+  SwapManager swap(*f.world, f.pool, nullptr, f.config(SwapPolicy::kGreedy));
+  swap.setGis(&gis);
+  swap.setJournal(&journal);
+  f.g.node(f.tb.utkNodes[0]).injectLoad(3.0);
+  swap.evaluate();
+  ASSERT_EQ(swap.pendingSwaps(), 1u);
+  for (const auto id : f.tb.uiucNodes) gis.setNodeReachable(id, false);
+  const grid::NodeId before = f.world->nodeOf(0);
+  for (int r = 0; r < 3; ++r) {
+    f.eng.spawn([](SwapManager& s, int rank) -> sim::Task {
+      co_await s.atIterationBoundary(rank);
+    }(swap, r));
+  }
+  f.eng.run();
+  EXPECT_EQ(f.world->nodeOf(0), before);
+  EXPECT_EQ(swap.pendingSwaps(), 0u);
+  EXPECT_EQ(swap.rolledBackSwaps(), 0);
+  EXPECT_EQ(journal.opened(), 0);
+  EXPECT_EQ(f.world->retargetsAborted(), 0);
+}
+
+TEST(Swap, UnreachableNodesExcludedFromReplacementPool) {
+  // Policy evaluation itself must not propose a dead node as a target.
+  SwapFixture f;
+  services::Gis gis(f.g);
+  SwapManager swap(*f.world, f.pool, nullptr, f.config(SwapPolicy::kGreedy));
+  swap.setGis(&gis);
+  for (const auto id : f.tb.uiucNodes) gis.setNodeReachable(id, false);
+  f.g.node(f.tb.utkNodes[0]).injectLoad(3.0);
+  swap.evaluate();
+  EXPECT_EQ(swap.pendingSwaps(), 0u);  // only dead nodes would be faster
+}
+
 TEST(Swap, EndToEndNBodyRunSwapsUnderLoad) {
   SwapFixture f;
   services::Nws nws(f.eng, f.g, 5.0, 0.0, 3);
@@ -426,6 +537,120 @@ TEST(Swap, EndToEndNBodyRunSwapsUnderLoad) {
   // Everyone ends on UIUC.
   for (int r = 0; r < 3; ++r) {
     EXPECT_EQ(f.g.node(f.world->nodeOf(r)).cluster(), f.tb.uiuc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactional migrations through the application manager: a node killed
+// between the action's prepare (journal open) and commit (all ranks restored
+// on the target) must resolve as a rollback, and the run must complete.
+// ---------------------------------------------------------------------------
+
+struct MidActionFaultRun {
+  core::RunBreakdown bd;
+  std::vector<ActionRecord> records;
+  int inFlight = 0;
+  bool killed = false;
+};
+
+MidActionFaultRun runMigrationWithMidActionKill(bool killTarget) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kScalapack);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  gis.installEverywhere(services::software::kAutopilotSensors);
+  services::Nws nws(eng, g, 10.0, 0.0, 7);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+  FailureInjector injector(eng, gis);
+
+  // Figure-3 setup: load lands on a UTK node, the rescheduler migrates.
+  grid::applyLoadTrace(eng, g.node(tb.utkNodes[0]),
+                       grid::LoadTrace::stepAt(300.0, 2.65));
+  apps::QrConfig cfg;
+  cfg.n = 9000;
+  cfg.checkpointEveryPanels = 8;
+  const core::Cop cop = apps::makeQrCop(g, cfg);
+
+  ActionJournal journal(eng);
+  StopRestartRescheduler rescheduler(gis, &nws, ReschedulerOptions{});
+  rescheduler.setJournal(&journal);
+
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+  core::ManagerOptions mopts;
+  mopts.journal = &journal;
+  mopts.failures = &injector;
+  mopts.launchRetry.maxAttempts = 5;
+  mopts.launchRetry.baseDelaySec = 15.0;
+
+  // The moment the migration opens, kill one endpoint 1 s later — inside
+  // the prepare window (stop checkpoint still being written). The long
+  // stale-GIS window makes the relaunch bind hit the corpse.
+  auto killed = std::make_shared<bool>(false);
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [&eng, &journal, &injector, killed, poll, killTarget,
+           appName = cop.name] {
+    if (*killed) return;
+    if (const auto* rec = journal.openAction(appName)) {
+      const auto& nodes = killTarget ? rec->target : rec->prior;
+      if (!nodes.empty()) {
+        *killed = true;
+        const grid::NodeId victim = nodes.front();
+        eng.scheduleDaemon(1.0, [&injector, victim] {
+          injector.failNow(victim, 2.0, 120.0);
+        });
+        return;
+      }
+    }
+    eng.scheduleDaemon(1.0, *poll);
+  };
+  eng.scheduleDaemon(1.0, *poll);
+
+  MidActionFaultRun out;
+  eng.spawn(mgr.run(cop, &rescheduler, mopts, &out.bd), "qr");
+  eng.run();
+  eng.rethrowIfFailed();
+  out.records = journal.records();
+  out.inFlight = journal.inFlight();
+  out.killed = *killed;
+  return out;
+}
+
+TEST(Journal, MigrationTargetDeathRollsBackToPriorMapping) {
+  const auto out = runMigrationWithMidActionKill(/*killTarget=*/true);
+  ASSERT_TRUE(out.killed);
+  EXPECT_GT(out.bd.totalSeconds, 0.0);  // the run completed
+  EXPECT_EQ(out.inFlight, 0);           // no stranded records
+  EXPECT_GE(out.bd.actionsRolledBack, 1);
+  // Find the rolled-back action and check the relaunch restored its exact
+  // prior active set.
+  const ActionRecord* rb = nullptr;
+  for (const auto& r : out.records) {
+    ASSERT_NE(r.state, ActionState::kPrepared);
+    ASSERT_NE(r.state, ActionState::kCommitting);
+    if (r.state == ActionState::kRolledBack && rb == nullptr) rb = &r;
+  }
+  ASSERT_NE(rb, nullptr);
+  ASSERT_GE(out.bd.mappings.size(), 2u);
+  EXPECT_EQ(out.bd.mappings[0], rb->prior);
+  EXPECT_EQ(out.bd.mappings[1], rb->prior);  // resumed on the old nodes
+}
+
+TEST(Journal, MigrationSourceDeathRollsBackAndRemaps) {
+  // Killing a *source* node mid-prepare aborts the stop checkpoint; the
+  // action rolls back, and since the prior mapping lost a node the manager
+  // remaps from scratch — the run must still complete with nothing open.
+  const auto out = runMigrationWithMidActionKill(/*killTarget=*/false);
+  ASSERT_TRUE(out.killed);
+  EXPECT_GT(out.bd.totalSeconds, 0.0);
+  EXPECT_EQ(out.inFlight, 0);
+  EXPECT_GE(out.bd.actionsRolledBack, 1);
+  for (const auto& r : out.records) {
+    EXPECT_GE(r.resolvedAt, 0.0);  // every action resolved
   }
 }
 
