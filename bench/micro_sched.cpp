@@ -37,7 +37,22 @@ void BM_MinMinSweep(benchmark::State& state) {
         ws.schedule(dag, workflow::Heuristic::kMinMin).makespan);
   }
 }
-BENCHMARK(BM_MinMinSweep)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_MinMinSweep)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// The pre-rewrite O(B²·R) loop, benchmarked as the baseline the incremental
+// batch loop is measured against (same estimator, same DAG).
+void BM_MinMinSweepReference(benchmark::State& state) {
+  Setup s;
+  Rng rng(1);
+  const auto dag = workflow::makeParameterSweep(
+      static_cast<std::size_t>(state.range(0)), rng);
+  workflow::WorkflowScheduler ws(*s.truth, s.g.allNodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ws.scheduleReference(dag, workflow::Heuristic::kMinMin).makespan);
+  }
+}
+BENCHMARK(BM_MinMinSweepReference)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_BestOfThreeLayered(benchmark::State& state) {
   Setup s;
@@ -63,7 +78,7 @@ void BM_SufferageLigo(benchmark::State& state) {
         ws.schedule(dag, workflow::Heuristic::kSufferage).makespan);
   }
 }
-BENCHMARK(BM_SufferageLigo)->Arg(16)->Arg(64);
+BENCHMARK(BM_SufferageLigo)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 

@@ -1,0 +1,320 @@
+// Perf-regression harness: measures the simulation/scheduling hot paths and
+// emits BENCH_N.json, the repo's performance trajectory.
+//
+// Before/after deltas are measured *in the same process*: the pre-rewrite
+// event queue (std::function callbacks, shared_ptr cancellation tokens, one
+// std::priority_queue over fat items) is embedded below as LegacyEngine, and
+// the pre-rewrite O(B²·R) mapping loop survives as
+// WorkflowScheduler::scheduleReference. Same binary, same compiler flags,
+// same machine state — so the reported speedups are meaningful even on noisy
+// hardware, and the CI check compares speedup ratios (machine-independent)
+// rather than absolute throughput.
+//
+// Usage:
+//   perf_harness [--quick] [--out FILE] [--check FILE]
+//     --quick   fewer repetitions / smaller sizes (CI smoke leg)
+//     --out     where to write the JSON (default: BENCH_4.json under the
+//               bench output dir)
+//     --check   load a committed BENCH_N.json and fail (exit 1) if the
+//               event-throughput speedup regressed by more than 20%
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_paths.hpp"
+#include "grid/testbeds.hpp"
+#include "services/gis.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/scheduler.hpp"
+
+using namespace grads;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LegacyEngine: the pre-rewrite event queue, verbatim in shape.
+// ---------------------------------------------------------------------------
+
+class LegacyEngine {
+ public:
+  struct Handle {
+    std::shared_ptr<bool> cancelled;
+    void cancel() {
+      if (cancelled) *cancelled = true;
+    }
+  };
+
+  Handle schedule(double delay, std::function<void()> fn) {
+    Item item;
+    item.t = now_ + delay;
+    item.seq = seq_++;
+    item.fn = std::move(fn);
+    item.cancelled = std::make_shared<bool>(false);
+    Handle h{item.cancelled};
+    queue_.push(std::move(item));
+    return h;
+  }
+
+  void run() {
+    while (!queue_.empty()) {
+      Item item = queue_.top();
+      queue_.pop();
+      if (*item.cancelled) continue;
+      now_ = item.t;
+      item.fn();
+    }
+  }
+
+  double now() const { return now_; }
+
+ private:
+  struct Item {
+    double t = 0.0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+};
+
+// ---------------------------------------------------------------------------
+// Measurement scaffolding
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `body` `reps` times and returns the best (least noisy) items/sec.
+template <typename F>
+double bestRate(std::size_t items, int reps, F body) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    body();
+    const auto t1 = Clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    if (sec > 0.0) best = std::max(best, static_cast<double>(items) / sec);
+  }
+  return best;
+}
+
+struct Report {
+  // std::map keeps the JSON keys sorted and the file diffs stable.
+  std::map<std::string, double> values;
+
+  void set(const std::string& key, double v) { values[key] = v; }
+  void setPair(const std::string& stem, double now, double baseline) {
+    values[stem + "_items_per_sec"] = now;
+    values[stem + "_baseline_items_per_sec"] = baseline;
+    values[stem + "_speedup"] = baseline > 0.0 ? now / baseline : 0.0;
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    std::size_t i = 0;
+    for (const auto& [k, v] : values) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out << "  \"" << k << "\": " << buf
+          << (++i == values.size() ? "\n" : ",\n");
+    }
+    out << "}\n";
+  }
+};
+
+/// Minimal reader for the flat {"key": number, ...} JSON this harness emits.
+std::map<std::string, double> readFlatJson(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    const auto q2 = line.find('"', q1 + 1);
+    const auto colon = line.find(':', q2);
+    if (q2 == std::string::npos || colon == std::string::npos) continue;
+    out[line.substr(q1 + 1, q2 - q1 - 1)] =
+        std::strtod(line.c_str() + colon + 1, nullptr);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+void measureEventThroughput(Report& report, std::size_t n, int reps) {
+  volatile std::size_t sink = 0;
+  const double now = bestRate(n, reps, [&] {
+    sim::Engine eng;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      eng.schedule(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    eng.run();
+    sink = fired;
+  });
+  const double baseline = bestRate(n, reps, [&] {
+    LegacyEngine eng;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      eng.schedule(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    eng.run();
+    sink = fired;
+  });
+  report.setPair("event_throughput_" + std::to_string(n), now, baseline);
+}
+
+sim::Task pingPong(sim::Channel<int>& a, sim::Channel<int>& b, int rounds,
+                   bool starter) {
+  for (int i = 0; i < rounds; ++i) {
+    if (starter) {
+      a.send(i);
+      co_await b.recv();
+    } else {
+      const int v = co_await a.recv();
+      b.send(v);
+    }
+  }
+}
+
+void measurePingPong(Report& report, int rounds, int reps) {
+  const double rate =
+      bestRate(static_cast<std::size_t>(rounds) * 2, reps, [&] {
+        sim::Engine eng;
+        sim::Channel<int> a(eng);
+        sim::Channel<int> b(eng);
+        eng.spawn(pingPong(a, b, rounds, true));
+        eng.spawn(pingPong(a, b, rounds, false));
+        eng.run();
+      });
+  report.set("ping_pong_" + std::to_string(rounds) + "_items_per_sec", rate);
+}
+
+sim::Task sleeper(sim::Engine& eng) { co_await sleepFor(eng, 1.0); }
+
+void measureSpawnJoin(Report& report, int procs, int reps) {
+  const double rate = bestRate(static_cast<std::size_t>(procs), reps, [&] {
+    sim::Engine eng;
+    for (int i = 0; i < procs; ++i) eng.spawn(sleeper(eng));
+    eng.run();
+  });
+  report.set("spawn_join_" + std::to_string(procs) + "_items_per_sec", rate);
+}
+
+void measureSchedule(Report& report, std::size_t batch, int reps) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  grid::buildMacroGrid(g);
+  services::Gis gis(g);
+  workflow::GridEstimator truth(gis, nullptr);
+  Rng rng(1);
+  const auto dag = workflow::makeParameterSweep(batch, rng);
+  workflow::WorkflowScheduler ws(truth, g.allNodes());
+  ws.setCrossCheck(false);
+
+  volatile double sink = 0.0;
+  const double now = bestRate(batch, reps, [&] {
+    sink = ws.schedule(dag, workflow::Heuristic::kMinMin).makespan;
+  });
+  const double baseline = bestRate(batch, reps, [&] {
+    sink = ws.scheduleReference(dag, workflow::Heuristic::kMinMin).makespan;
+  });
+  report.setPair("schedule_minmin_" + std::to_string(batch), now, baseline);
+}
+
+int checkAgainst(const Report& measured, const std::string& committedPath) {
+  const auto committed = readFlatJson(committedPath);
+  const std::string key = "event_throughput_100000_speedup";
+  const auto base = committed.find(key);
+  const auto got = measured.values.find(key);
+  if (base == committed.end() || got == measured.values.end()) {
+    std::fprintf(stderr, "perf check: %s missing from %s\n", key.c_str(),
+                 committedPath.c_str());
+    return 1;
+  }
+  // Compare the legacy-vs-new speedup ratio, not absolute throughput: both
+  // sides of the ratio ran in this process, so the committed number carries
+  // across machines. >20% regression fails.
+  const double floor = base->second * 0.8;
+  std::printf("perf check: %s measured %.2f, committed %.2f, floor %.2f\n",
+              key.c_str(), got->second, base->second, floor);
+  if (got->second < floor) {
+    std::fprintf(stderr,
+                 "perf check FAILED: event throughput speedup regressed more "
+                 "than 20%%\n");
+    return 1;
+  }
+  std::printf("perf check OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string outPath;
+  std::string checkPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      checkPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_harness [--quick] [--out FILE] [--check "
+                   "FILE]\n");
+      return 2;
+    }
+  }
+  if (outPath.empty()) outPath = bench::outputPath("BENCH_4.json");
+
+  const int reps = quick ? 3 : 7;
+  Report report;
+  report.set("bench_id", 4);
+  report.set("quick", quick ? 1 : 0);
+
+  measureEventThroughput(report, 100000, reps);
+  if (!quick) measureEventThroughput(report, 10000, reps);
+  measurePingPong(report, 10000, reps);
+  measureSpawnJoin(report, 1000, reps);
+  for (const std::size_t b : {std::size_t{16}, std::size_t{64},
+                              std::size_t{256}}) {
+    measureSchedule(report, b, quick && b == 256 ? 2 : reps);
+  }
+
+  report.write(outPath);
+  std::printf("wrote %s\n", outPath.c_str());
+  for (const auto& [k, v] : report.values) {
+    std::printf("  %-48s %.6g\n", k.c_str(), v);
+  }
+
+  if (!checkPath.empty()) return checkAgainst(report, checkPath);
+  return 0;
+}

@@ -2,12 +2,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace grads::sim {
@@ -20,6 +19,11 @@ class Task;
 /// execution order of same-time events deterministic (FIFO), which is what
 /// makes MicroGrid-style experiments exactly repeatable.
 ///
+/// The hot path is allocation-free: callbacks live in pooled event nodes
+/// (sim::InlineFn small-buffer storage, free-list recycling) and cancellation
+/// is a generation check instead of a shared_ptr control block. The heap is
+/// only touched when the pool grows or a callable outgrows the inline buffer.
+///
 /// Coroutine processes (sim::Task) are spawned onto the engine and interact
 /// with virtual time through awaitables (sleep, Event, Channel, PsResource).
 class Engine {
@@ -31,35 +35,44 @@ class Engine {
 
   Time now() const { return now_; }
 
-  /// Cancellable handle to a scheduled event.
+  /// Cancellable handle to a scheduled event: a {pool index, generation}
+  /// pair. The generation counter makes handles to fired/cancelled events
+  /// harmlessly stale once their node is recycled. Handles are passive —
+  /// copying or dropping one costs nothing — but cancel()/pending() must not
+  /// be called after the engine itself is destroyed.
   class EventHandle {
    public:
     EventHandle() = default;
     /// Cancels the event if it has not fired yet; safe to call repeatedly.
+    /// Cancelling a non-daemon event eagerly releases its hold on run(), so
+    /// an abandoned far-future timeout cannot keep the simulation grinding
+    /// through daemon events until the dead deadline pops.
     void cancel();
     /// True if the event is still pending (not fired, not cancelled).
     bool pending() const;
 
    private:
     friend class Engine;
-    explicit EventHandle(std::shared_ptr<bool> cancelled)
-        : cancelled_(std::move(cancelled)) {}
-    std::shared_ptr<bool> cancelled_;
+    EventHandle(Engine* engine, std::uint32_t index, std::uint32_t generation)
+        : engine_(engine), index_(index), generation_(generation) {}
+    Engine* engine_ = nullptr;
+    std::uint32_t index_ = 0;
+    std::uint32_t generation_ = 0;
   };
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventHandle schedule(Time delay, std::function<void()> fn);
+  EventHandle schedule(Time delay, InlineFn fn);
   /// Schedules `fn` at absolute time `t` (t >= now()).
-  EventHandle scheduleAt(Time t, std::function<void()> fn);
+  EventHandle scheduleAt(Time t, InlineFn fn);
 
   /// Daemon events do not keep the run loop alive: run() returns once only
   /// daemon events remain. Periodic services (NWS sampling, swap-policy
   /// ticks, background-load traces) use these so simulations end when the
   /// real work ends.
-  EventHandle scheduleDaemon(Time delay, std::function<void()> fn);
-  EventHandle scheduleDaemonAt(Time t, std::function<void()> fn);
+  EventHandle scheduleDaemon(Time delay, InlineFn fn);
+  EventHandle scheduleDaemonAt(Time t, InlineFn fn);
 
-  /// Schedules a coroutine resume; used by awaitables.
+  /// Schedules a coroutine resume; used by awaitables. Never heap-allocates.
   EventHandle scheduleResume(Time delay, std::coroutine_handle<> h);
 
   /// Runs until the event queue is empty (or stop() is called).
@@ -70,7 +83,15 @@ class Engine {
   void stop() { stopped_ = true; }
 
   std::size_t processedEvents() const { return processed_; }
+  /// Number of live (not yet fired, not cancelled) scheduled events.
+  /// Cancelled corpses still sitting in the queue are not counted.
   std::size_t pendingEvents() const;
+  /// Cancelled events whose queue slots have not been drained yet.
+  std::size_t cancelledPending() const { return cancelledPending_; }
+  /// Pool occupancy (all nodes ever allocated / currently recyclable); used
+  /// by tests to prove recycling works.
+  std::size_t poolSize() const { return poolSize_; }
+  std::size_t freePoolNodes() const { return freeCount_; }
 
   /// Spawns a detached coroutine process; the engine owns it. The first
   /// resume happens as a normal event at the current time.
@@ -84,30 +105,197 @@ class Engine {
   void rethrowIfFailed();
 
  private:
-  struct Item {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-    bool daemon = false;
+  static constexpr std::uint32_t kNilNode = 0xffffffffu;
+
+  /// Pooled event node, packed to exactly one cache line: the queue itself
+  /// only stores (time, seq⊕index) pairs; the callback and bookkeeping live
+  /// here and are recycled through a free list, so steady-state scheduling
+  /// allocates nothing. The daemon/cancelled flags share a word with the
+  /// generation counter (30 bits — staleness detection wraps only after a
+  /// billion reuses of one slot).
+  struct Node {
+    static constexpr std::uint32_t kDaemonBit = 0x80000000u;
+    static constexpr std::uint32_t kCancelledBit = 0x40000000u;
+    static constexpr std::uint32_t kGenMask = 0x3fffffffu;
+
+    InlineFn fn;                       // 56 bytes (48 SBO + ops pointer)
+    std::uint32_t bits = 0;            // flags | generation
+    std::uint32_t nextFree = kNilNode;
+
+    std::uint32_t generation() const { return bits & kGenMask; }
+    bool daemon() const { return (bits & kDaemonBit) != 0; }
+    bool cancelled() const { return (bits & kCancelledBit) != 0; }
   };
-  struct ItemCompare {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+  static_assert(sizeof(Node) == 64, "event node must stay one cache line");
+
+  /// 16-byte queue entry: sequence number and pool index share one word
+  /// (seq in the high 40 bits, node index in the low 24), so ordering by
+  /// `key` IS FIFO ordering among same-time events and two entries fit in a
+  /// cache line. Caps: 2^24 concurrently pending events, 2^40 events per
+  /// engine lifetime — both asserted at schedule time.
+  struct QueueEntry {
+    Time t;
+    std::uint64_t key;
+    std::uint32_t node() const {
+      return static_cast<std::uint32_t>(key & 0xffffffu);
     }
+  };
+  static constexpr unsigned kNodeBits = 24;
+  static constexpr std::uint64_t kMaxSeq = (1ull << (64 - kNodeBits)) - 1;
+
+  /// Two-tier ladder queue on (t, key) order.
+  ///
+  /// A single heap over 100k+ pending events pays O(log n) cache misses per
+  /// operation across a multi-megabyte array; that, per GridSim, is what
+  /// bounds a Grid simulator's usable experiment scale. Instead (following
+  /// the classic ladder-queue shape — sorted bottom rung, unsorted rungs
+  /// above):
+  ///
+  ///  - `near_` is a slice of entries with t < nearLimit_, kept sorted in
+  ///    *descending* (t, key) order so top()/pop() read from the back. A
+  ///    sorted run also makes the fire path prefetchable: the node the
+  ///    engine will need K pops from now is `near_[size-1-K]`, which no heap
+  ///    layout can tell you.
+  ///  - `live_` is a small binary min-heap catching pushes that land below
+  ///    the current horizon while the near run drains — zero-delay coroutine
+  ///    resumes live here and stay cache-hot. top() is the min of the two.
+  ///  - `far_` is an unsorted vector for entries at t >= nearLimit_: a push
+  ///    is one sequential append. When both low tiers drain, one linear scan
+  ///    re-partitions the far tier around an adaptive time horizon and sorts
+  ///    the slice that moved down.
+  ///
+  /// Every ordering decision uses the same strict-weak (t, key) order a
+  /// global heap would use — keys are unique, so the total order is unique —
+  /// meaning the deterministic FIFO contract is bit-for-bit unchanged; the
+  /// tiers only change *when* entries are compared, never how. Degenerate
+  /// time distributions (everything at one instant) collapse to one sorted
+  /// run.
+  class EventQueue {
+   public:
+    bool empty() const {
+      return near_.empty() && live_.empty() && far_.empty();
+    }
+    std::size_t size() const {
+      return near_.size() + live_.size() + far_.size();
+    }
+
+    /// May re-partition the far tier (hence non-const).
+    const QueueEntry& top() {
+      if (near_.empty() && live_.empty()) refill();
+      if (live_.empty()) return near_.back();
+      if (near_.empty()) return live_.front();
+      return before(near_.back(), live_.front()) ? near_.back()
+                                                 : live_.front();
+    }
+
+    void push(QueueEntry e) {
+      if (e.t < nearLimit_) {
+        pushLive(e);
+      } else {
+        far_.push_back(e);
+      }
+    }
+
+    void pop() {
+      if (near_.empty() && live_.empty()) refill();
+      if (!near_.empty() &&
+          (live_.empty() || before(near_.back(), live_.front()))) {
+        near_.pop_back();
+      } else {
+        popLive();
+      }
+    }
+
+    /// Entry that will surface k pops from now *if only the near run is
+    /// consumed*; a prefetch hint, not a guarantee (live-heap interleaving
+    /// shifts it by a few slots, which a hint tolerates).
+    const QueueEntry* lookahead(std::size_t k) const {
+      return near_.size() > k ? &near_[near_.size() - 1 - k] : nullptr;
+    }
+
+   private:
+    static constexpr std::size_t kNearTarget = 2048;
+    /// Each refill drains at least 1/kDrainShift of the far tier, keeping
+    /// total refill work linear in the number of events.
+    static constexpr std::size_t kDrainShift = 8;
+
+    static bool before(const QueueEntry& a, const QueueEntry& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.key < b.key;
+    }
+
+    void pushLive(QueueEntry e) {
+      std::size_t i = live_.size();
+      live_.push_back(e);
+      while (i > 0) {
+        const std::size_t parent = (i - 1) >> 1;
+        if (!before(e, live_[parent])) break;
+        live_[i] = live_[parent];
+        i = parent;
+      }
+      live_[i] = e;
+    }
+
+    void popLive() {
+      const QueueEntry last = live_.back();
+      live_.pop_back();
+      const std::size_t n = live_.size();
+      if (n == 0) return;
+      std::size_t i = 0;
+      for (;;) {
+        std::size_t child = (i << 1) + 1;
+        if (child >= n) break;
+        if (child + 1 < n && before(live_[child + 1], live_[child])) ++child;
+        if (!before(live_[child], last)) break;
+        live_[i] = live_[child];
+        i = child;
+      }
+      live_[i] = last;
+    }
+
+    /// Moves the earliest slice of the far tier into the (drained) near run.
+    void refill();
+
+    std::vector<QueueEntry> near_;  // sorted descending, all t < nearLimit_
+    std::vector<QueueEntry> live_;  // binary min-heap, all t < nearLimit_
+    std::vector<QueueEntry> far_;   // unsorted, all t >= nearLimit_
+    Time nearLimit_ = 0.0;
   };
 
   void reapFinished();
 
-  EventHandle scheduleItem(Time t, std::function<void()> fn, bool daemon);
+  EventHandle scheduleItem(const char* caller, Time t, InlineFn fn,
+                           bool daemon);
+  std::uint32_t acquireNode(InlineFn fn, bool daemon);
+  void recycleNode(std::uint32_t index);
+  /// Pops the top entry and runs it if live; returns false for a drained
+  /// cancelled corpse (caller loops without touching the clock).
+  bool popAndFire(QueueEntry top);
+
+  /// Node storage grows in place as fixed chunks: addresses are stable for
+  /// the engine's lifetime (callbacks run in place, no relocation when the
+  /// pool grows) and index -> address is one load from the tiny chunk table
+  /// plus arithmetic, which keeps the fire-path prefetch effective.
+  static constexpr unsigned kChunkBits = 12;  // 4096 nodes = 256 KiB / chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkBits) - 1;
+  Node& nodeAt(std::uint32_t index) {
+    return chunks_[index >> kChunkBits][index & kChunkMask];
+  }
+  const Node& nodeAt(std::uint32_t index) const {
+    return chunks_[index >> kChunkBits][index & kChunkMask];
+  }
 
   Time now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;
   std::size_t nonDaemonPending_ = 0;
+  std::size_t cancelledPending_ = 0;
+  std::size_t freeCount_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t poolSize_ = 0;
+  std::uint32_t freeHead_ = kNilNode;
+  EventQueue queue_;
 
   struct RootProcess;
   std::vector<std::unique_ptr<RootProcess>> roots_;

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace grads::sim {
+
+/// Move-only `void()` callable with a 48-byte small buffer.
+///
+/// The event engine runs millions of callbacks per simulated experiment;
+/// `std::function` costs a heap allocation for anything beyond a couple of
+/// captured words. Engine callbacks are overwhelmingly tiny — a coroutine
+/// handle, a `this` pointer plus a value or two — so InlineFn stores them in
+/// place and the hot path never touches the allocator. Callables larger than
+/// the buffer (or without a noexcept move) fall back to a single heap node,
+/// keeping the type universal.
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+  /// Buffer alignment is pointer-sized (not max_align_t) so an InlineFn is
+  /// 56 bytes and an engine event node packs into one cache line. Callables
+  /// demanding stricter alignment use the heap fallback.
+  static constexpr std::size_t kInlineAlign = alignof(void*);
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { ops_->call(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the held callable (and releases its resources) early.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the callable lives in the small buffer (exposed for tests).
+  bool isInline() const noexcept {
+    return ops_ != nullptr && ops_->inlineStorage;
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void* self);
+    /// Move-constructs *src into dst, then destroys *src. Must not throw:
+    /// relocation happens inside engine pool maintenance.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool inlineStorage;
+  };
+
+  template <typename D>
+  static constexpr bool fitsInline =
+      sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops inlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+      [](void* src, void* dst) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) noexcept { std::launder(reinterpret_cast<D*>(self))->~D(); },
+      /*inlineStorage=*/true,
+  };
+
+  template <typename D>
+  static constexpr Ops heapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<D**>(self)))(); },
+      [](void* src, void* dst) noexcept {
+        // A raw pointer is trivially destructible: relocation is a copy.
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* self) noexcept { delete *std::launder(reinterpret_cast<D**>(self)); },
+      /*inlineStorage=*/false,
+  };
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace grads::sim

@@ -90,18 +90,24 @@ void PsResource::replan() {
     const double rate = ratePerUnitLocked();
     const Time now = engine_->now();
     const Time timeQuantum = std::nextafter(now, kInfTime) - now;
-    for (auto it = jobs_.begin(); it != jobs_.end();) {
-      const bool relDone = it->remaining <= kRelativeEps * it->work;
+    // Stable in-place compaction (order of survivors preserved, finishers
+    // signalled in submission order — Event::set only queues resumes, so no
+    // reentrancy can touch jobs_ mid-sweep).
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      Job& j = jobs_[i];
+      const bool relDone = j.remaining <= kRelativeEps * j.work;
       const bool quantumDone =
-          rate > 0.0 && it->remaining <= rate * it->weight * timeQuantum;
-      if (!it->infinite && (relDone || quantumDone)) {
-        completedWork_ += it->work;
-        it->done->set();
-        it = jobs_.erase(it);
+          rate > 0.0 && j.remaining <= rate * j.weight * timeQuantum;
+      if (!j.infinite && (relDone || quantumDone)) {
+        completedWork_ += j.work;
+        j.done->set();
       } else {
-        ++it;
+        if (keep != i) jobs_[keep] = std::move(j);
+        ++keep;
       }
     }
+    jobs_.resize(keep);
     replan();
   });
 }
@@ -125,7 +131,7 @@ PsResource::LoadId PsResource::addLoad(double weight) {
 void PsResource::removeLoad(LoadId id) {
   advance();
   const auto before = jobs_.size();
-  jobs_.remove_if([id](const Job& j) { return j.infinite && j.id == id; });
+  std::erase_if(jobs_, [id](const Job& j) { return j.infinite && j.id == id; });
   GRADS_REQUIRE(jobs_.size() + 1 == before,
                 "PsResource::removeLoad: unknown load id");
   replan();

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -73,6 +73,7 @@ class PsResource {
     double weight;
     bool infinite;
     LoadId id;
+    // Owned out-of-line so waiter addresses survive jobs_ reallocation.
     std::unique_ptr<Event> done;  // null for infinite jobs
   };
 
@@ -84,7 +85,9 @@ class PsResource {
   double capacity_;
   double maxRatePerUnit_;
   std::string name_;
-  std::list<Job> jobs_;
+  // Contiguous so the advance()/replan() sweeps (every capacity change and
+  // every finish event walks all jobs) stream instead of pointer-chasing.
+  std::vector<Job> jobs_;
   Time lastUpdate_ = 0.0;
   Engine::EventHandle pendingFinish_;
   LoadId nextId_ = 1;

@@ -49,15 +49,247 @@ double WorkflowScheduler::rank(
 }
 
 namespace {
+constexpr std::size_t kNoResource = static_cast<std::size_t>(-1);
+
 struct Candidate {
   ComponentId c = 0;
-  std::size_t bestR = 0;      // index into resources
+  std::size_t bestR = kNoResource;    // index into resources
+  std::size_t secondR = kNoResource;  // where secondCt is attained
   double bestCt = kInfeasible;
   double secondCt = kInfeasible;
+  double readyAt = 0.0;
+  std::size_t row = 0;  // offset of this candidate's rank row (incremental)
 };
+
+double sufferageOf(const Candidate& x) {
+  return x.secondCt == kInfeasible ? kInfeasible : x.secondCt - x.bestCt;
+}
+
+/// Strict total order over candidates for one heuristic pick: every
+/// comparison chain ends at ComponentId, so the winner never depends on the
+/// order candidates are visited in. Sufferage ties (including several
+/// candidates stuck at sufferage = ∞ because each has a single feasible
+/// resource) fall back to (bestCt, ComponentId).
+bool betterPick(Heuristic h, const Candidate& a, const Candidate& b) {
+  switch (h) {
+    case Heuristic::kMinMin:
+      if (a.bestCt != b.bestCt) return a.bestCt < b.bestCt;
+      return a.c < b.c;
+    case Heuristic::kMaxMin:
+      if (a.bestCt != b.bestCt) return a.bestCt > b.bestCt;
+      return a.c < b.c;
+    case Heuristic::kSufferage: {
+      const double sa = sufferageOf(a);
+      const double sb = sufferageOf(b);
+      if (sa != sb) return sa > sb;
+      if (a.bestCt != b.bestCt) return a.bestCt < b.bestCt;
+      return a.c < b.c;
+    }
+    case Heuristic::kBestOfThree: break;
+  }
+  GRADS_ASSERT(false, "betterPick: kBestOfThree is not a row heuristic");
+  return false;
+}
+
+/// Rescans a candidate's completion times from its (fixed) rank row and the
+/// current avail[] vector. First index wins value ties, exactly like the
+/// reference scan, so best/second identities match a from-scratch rebuild.
+void recomputeBestSecond(Candidate& cand, const double* row,
+                         const std::vector<double>& avail) {
+  cand.bestR = kNoResource;
+  cand.secondR = kNoResource;
+  cand.bestCt = kInfeasible;
+  cand.secondCt = kInfeasible;
+  for (std::size_t r = 0; r < avail.size(); ++r) {
+    if (row[r] == kInfeasible) continue;
+    const double ct = std::max(avail[r], cand.readyAt) + row[r];
+    if (ct < cand.bestCt) {
+      cand.secondCt = cand.bestCt;
+      cand.secondR = cand.bestR;
+      cand.bestCt = ct;
+      cand.bestR = r;
+    } else if (ct < cand.secondCt) {
+      cand.secondCt = ct;
+      cand.secondR = r;
+    }
+  }
+}
+
+void requireIdentical(const Schedule& got, const Schedule& ref) {
+  GRADS_REQUIRE(got.assignments.size() == ref.assignments.size(),
+                "scheduler cross-check: assignment counts differ");
+  for (std::size_t i = 0; i < got.assignments.size(); ++i) {
+    const Assignment& a = got.assignments[i];
+    const Assignment& b = ref.assignments[i];
+    GRADS_REQUIRE(a.component == b.component && a.node == b.node &&
+                      a.start == b.start && a.finish == b.finish,
+                  "scheduler cross-check: incremental loop diverged from the "
+                  "reference loop at pick " +
+                      std::to_string(i));
+  }
+  GRADS_REQUIRE(got.makespan == ref.makespan,
+                "scheduler cross-check: makespan differs");
+}
 }  // namespace
 
-Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
+/// Per-schedule()-call scratch: adjacency in edge order (Dag::predecessors /
+/// Dag::inEdges rescan the whole edge list per call) and ecost rows cached
+/// per (component, node) — ecost is placement-independent, so one row serves
+/// all three heuristic runs of kBestOfThree.
+struct WorkflowScheduler::Workspace {
+  std::vector<std::vector<ComponentId>> preds;
+  std::vector<std::vector<ComponentId>> succs;
+  std::vector<std::vector<const Edge*>> inEdges;  // in dag.edges() order
+  std::vector<std::size_t> indegree;
+  std::vector<double> ecost;     // [c * R + r], filled row-at-a-time
+  std::vector<char> ecostReady;  // [c]
+
+  void build(const Dag& dag, std::size_t nr) {
+    const std::size_t n = dag.size();
+    preds.assign(n, {});
+    succs.assign(n, {});
+    inEdges.assign(n, {});
+    indegree.assign(n, 0);
+    for (const Edge& e : dag.edges()) {
+      preds[e.to].push_back(e.from);
+      succs[e.from].push_back(e.to);
+      inEdges[e.to].push_back(&e);
+      ++indegree[e.to];
+    }
+    ecost.assign(n * nr, 0.0);
+    ecostReady.assign(n, 0);
+  }
+
+  const double* ecostRow(const Estimator& est, const Dag& dag, ComponentId c,
+                         const std::vector<grid::NodeId>& resources) {
+    double* row = &ecost[c * resources.size()];
+    if (!ecostReady[c]) {
+      for (std::size_t r = 0; r < resources.size(); ++r) {
+        row[r] = est.ecost(dag.component(c), resources[r]);
+      }
+      ecostReady[c] = 1;
+    }
+    return row;
+  }
+};
+
+Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h,
+                                        Workspace& ws) const {
+  Schedule sched;
+  sched.heuristic = h;
+  const std::size_t nr = resources_.size();
+
+  std::vector<std::size_t> remaining = ws.indegree;
+  std::vector<ComponentId> ready;
+  for (ComponentId c = 0; c < dag.size(); ++c) {
+    if (remaining[c] == 0) ready.push_back(c);
+  }
+
+  std::vector<double> avail(nr, 0.0);
+  std::vector<grid::NodeId> placedNode(dag.size(), 0);
+  std::vector<double> finish(dag.size(), 0.0);
+  std::size_t scheduled = 0;
+  std::vector<Candidate> cands;
+  std::vector<double> rankMatrix;  // batch-local rows of length nr
+
+  while (scheduled < dag.size()) {
+    GRADS_REQUIRE(!ready.empty(), "WorkflowScheduler: cyclic dependences");
+
+    // Build the performance-matrix rows once per batch. A row is constant
+    // while the batch drains — every predecessor was placed in an earlier
+    // batch — so the only part of a completion time that can change is the
+    // avail[] term, and a placement changes avail[] of exactly one resource.
+    cands.clear();
+    cands.reserve(ready.size());
+    rankMatrix.assign(ready.size() * nr, kInfeasible);
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const ComponentId c = ready[i];
+      Candidate cand;
+      cand.c = c;
+      cand.row = i * nr;
+      for (const ComponentId p : ws.preds[c]) {
+        cand.readyAt = std::max(cand.readyAt, finish[p]);
+      }
+      const double* ecostRow = ws.ecostRow(*estimator_, dag, c, resources_);
+      double* row = &rankMatrix[cand.row];
+      for (std::size_t r = 0; r < nr; ++r) {
+        const double e = ecostRow[r];
+        if (e == kInfeasible) continue;  // row entry stays kInfeasible
+        double d = 0.0;
+        for (const Edge* edge : ws.inEdges[c]) {
+          d += estimator_->transferCost(placedNode[edge->from], resources_[r],
+                                        edge->bytes);
+        }
+        row[r] = weights_.w1 * e + weights_.w2 * d;
+      }
+      recomputeBestSecond(cand, row, avail);
+      GRADS_REQUIRE(cand.bestCt != kInfeasible,
+                    "WorkflowScheduler: no feasible resource for " +
+                        dag.component(c).name);
+      cands.push_back(cand);
+    }
+    ready.clear();
+
+    while (!cands.empty()) {
+      // betterPick is a strict total order, so a linear scan finds the same
+      // winner no matter how the candidate list is arranged.
+      std::size_t pick = 0;
+      for (std::size_t i = 1; i < cands.size(); ++i) {
+        if (betterPick(h, cands[i], cands[pick])) pick = i;
+      }
+      const Candidate chosen = cands[pick];
+      const ComponentId c = chosen.c;
+      const std::size_t rStar = chosen.bestR;
+      const grid::NodeId node = resources_[rStar];
+
+      // Record with unweighted cost estimates (ranks steer, costs account).
+      // Transfer costs are re-accumulated in edge order so the floating-
+      // point association matches the reference loop exactly.
+      double cost = ws.ecostRow(*estimator_, dag, c, resources_)[rStar];
+      for (const Edge* edge : ws.inEdges[c]) {
+        cost +=
+            estimator_->transferCost(placedNode[edge->from], node, edge->bytes);
+      }
+      Assignment a;
+      a.component = c;
+      a.node = node;
+      a.start = std::max(avail[rStar], chosen.readyAt);
+      a.finish = a.start + cost;
+      avail[rStar] = a.finish;
+      finish[c] = a.finish;
+      placedNode[c] = node;
+      sched.assignments.push_back(a);
+      sched.makespan = std::max(sched.makespan, a.finish);
+      ++scheduled;
+
+      cands[pick] = std::move(cands.back());
+      cands.pop_back();
+
+      // Incremental maintenance: only avail[rStar] changed (and only
+      // upward), so for any candidate with rStar ∉ {bestR, secondR} the
+      // completion time on rStar was already >= secondCt >= bestCt and only
+      // grew — neither the best/second values nor their first-index-wins
+      // identities can have changed. Everyone else gets a full O(R) rescan
+      // of their cached row.
+      for (Candidate& cand : cands) {
+        if (cand.bestR == rStar || cand.secondR == rStar) {
+          recomputeBestSecond(cand, &rankMatrix[cand.row], avail);
+        }
+      }
+
+      // Unlock successors; sorted below so the next batch is built in
+      // ascending ComponentId order like the reference loop's rescan.
+      for (const ComponentId s : ws.succs[c]) {
+        if (--remaining[s] == 0) ready.push_back(s);
+      }
+    }
+    std::sort(ready.begin(), ready.end());
+  }
+  return sched;
+}
+
+Schedule WorkflowScheduler::scheduleOneReference(const Dag& dag,
+                                                 Heuristic h) const {
   Schedule sched;
   sched.heuristic = h;
 
@@ -81,26 +313,27 @@ Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
 
     while (!batch.empty()) {
       // Build the performance-matrix row (rank-based completion times) for
-      // every unscheduled component in the batch.
+      // every unscheduled component in the batch, from scratch each pick.
       std::vector<Candidate> cands;
       cands.reserve(batch.size());
       for (const ComponentId c : batch) {
-        double readyAt = 0.0;
-        for (const auto p : dag.predecessors(c)) {
-          readyAt = std::max(readyAt, finish[p]);
-        }
         Candidate cand;
         cand.c = c;
+        for (const auto p : dag.predecessors(c)) {
+          cand.readyAt = std::max(cand.readyAt, finish[p]);
+        }
         for (std::size_t r = 0; r < resources_.size(); ++r) {
           const double rk = rank(dag, c, resources_[r], placed);
           if (rk == kInfeasible) continue;
-          const double ct = std::max(avail[r], readyAt) + rk;
+          const double ct = std::max(avail[r], cand.readyAt) + rk;
           if (ct < cand.bestCt) {
             cand.secondCt = cand.bestCt;
+            cand.secondR = cand.bestR;
             cand.bestCt = ct;
             cand.bestR = r;
           } else if (ct < cand.secondCt) {
             cand.secondCt = ct;
+            cand.secondR = r;
           }
         }
         GRADS_REQUIRE(cand.bestCt != kInfeasible,
@@ -109,31 +342,11 @@ Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
         cands.push_back(cand);
       }
 
-      // Select per heuristic.
+      // Select per heuristic (same strict total order as the incremental
+      // loop).
       std::size_t pick = 0;
-      switch (h) {
-        case Heuristic::kMinMin:
-          for (std::size_t i = 1; i < cands.size(); ++i) {
-            if (cands[i].bestCt < cands[pick].bestCt) pick = i;
-          }
-          break;
-        case Heuristic::kMaxMin:
-          for (std::size_t i = 1; i < cands.size(); ++i) {
-            if (cands[i].bestCt > cands[pick].bestCt) pick = i;
-          }
-          break;
-        case Heuristic::kSufferage: {
-          auto sufferage = [](const Candidate& x) {
-            return x.secondCt == kInfeasible ? kInfeasible
-                                             : x.secondCt - x.bestCt;
-          };
-          for (std::size_t i = 1; i < cands.size(); ++i) {
-            if (sufferage(cands[i]) > sufferage(cands[pick])) pick = i;
-          }
-          break;
-        }
-        case Heuristic::kBestOfThree:
-          GRADS_ASSERT(false, "kBestOfThree handled by schedule()");
+      for (std::size_t i = 1; i < cands.size(); ++i) {
+        if (betterPick(h, cands[i], cands[pick])) pick = i;
       }
 
       const Candidate& chosen = cands[pick];
@@ -141,10 +354,6 @@ Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
       const grid::NodeId node = resources_[chosen.bestR];
 
       // Record with unweighted cost estimates (ranks steer, costs account).
-      double readyAt = 0.0;
-      for (const auto p : dag.predecessors(c)) {
-        readyAt = std::max(readyAt, finish[p]);
-      }
       double cost = estimator_->ecost(dag.component(c), node);
       for (const auto& edge : dag.inEdges(c)) {
         cost += estimator_->transferCost(placed.at(edge.from), node, edge.bytes);
@@ -152,7 +361,7 @@ Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
       Assignment a;
       a.component = c;
       a.node = node;
-      a.start = std::max(avail[chosen.bestR], readyAt);
+      a.start = std::max(avail[chosen.bestR], chosen.readyAt);
       a.finish = a.start + cost;
       avail[chosen.bestR] = a.finish;
       finish[c] = a.finish;
@@ -183,13 +392,37 @@ Schedule WorkflowScheduler::scheduleOne(const Dag& dag, Heuristic h) const {
 
 Schedule WorkflowScheduler::schedule(const Dag& dag, Heuristic h) const {
   GRADS_REQUIRE(dag.size() > 0, "WorkflowScheduler: empty DAG");
-  if (h != Heuristic::kBestOfThree) return scheduleOne(dag, h);
+  Workspace ws;
+  ws.build(dag, resources_.size());
+  const auto runOne = [&](Heuristic hh) {
+    Schedule s = scheduleOne(dag, hh, ws);
+    if (crossCheck_) requireIdentical(s, scheduleOneReference(dag, hh));
+    return s;
+  };
+  if (h != Heuristic::kBestOfThree) return runOne(h);
   // Paper §3.1: run all three, keep the minimum-makespan schedule.
   Schedule best;
   bool first = true;
   for (const auto hh :
        {Heuristic::kMinMin, Heuristic::kMaxMin, Heuristic::kSufferage}) {
-    Schedule s = scheduleOne(dag, hh);
+    Schedule s = runOne(hh);
+    if (first || s.makespan < best.makespan) {
+      best = std::move(s);
+      first = false;
+    }
+  }
+  return best;
+}
+
+Schedule WorkflowScheduler::scheduleReference(const Dag& dag,
+                                              Heuristic h) const {
+  GRADS_REQUIRE(dag.size() > 0, "WorkflowScheduler: empty DAG");
+  if (h != Heuristic::kBestOfThree) return scheduleOneReference(dag, h);
+  Schedule best;
+  bool first = true;
+  for (const auto hh :
+       {Heuristic::kMinMin, Heuristic::kMaxMin, Heuristic::kSufferage}) {
+    Schedule s = scheduleOneReference(dag, hh);
     if (first || s.makespan < best.makespan) {
       best = std::move(s);
       first = false;

@@ -41,6 +41,14 @@ struct RankWeights {
 /// The GrADS workflow scheduler (paper §3.1): resolves DAG dependences,
 /// ranks eligible resources per component via the performance-matrix, and
 /// maps ready batches with the selected heuristic.
+///
+/// The batch loop is incremental: a candidate's rank row is constant while
+/// its batch drains (all predecessors were placed in earlier batches), so
+/// after a placement on resource r only candidates whose best or second-best
+/// completion time sat on r are rescanned, and Estimator rows are cached per
+/// (component, node) within a schedule() call. Ties are broken
+/// deterministically — see scheduleReference() / setCrossCheck() for the
+/// executable specification this is held to.
 class WorkflowScheduler {
  public:
   WorkflowScheduler(const Estimator& estimator,
@@ -49,6 +57,19 @@ class WorkflowScheduler {
 
   Schedule schedule(const Dag& dag, Heuristic h) const;
 
+  /// The naive O(B²·R) batch loop, kept as the executable specification of
+  /// schedule(): it recomputes every rank from the Estimator at every pick
+  /// and rescans every candidate. Identical selection rules, so the
+  /// incremental loop must reproduce it bit-for-bit.
+  Schedule scheduleReference(const Dag& dag, Heuristic h) const;
+
+  /// When enabled, every schedule() additionally runs scheduleReference()
+  /// and requires the two schedules to be identical field-by-field
+  /// (component, node, and exact `==` on start/finish/makespan doubles).
+  /// Defaults to enabled in debug builds, disabled under NDEBUG.
+  void setCrossCheck(bool on) { crossCheck_ = on; }
+  bool crossCheckEnabled() const { return crossCheck_; }
+
   /// The rank/performance matrix entry p_ij for a component on a node given
   /// already-placed predecessors (exposed for tests and the paper's matrix
   /// description).
@@ -56,11 +77,21 @@ class WorkflowScheduler {
               const std::map<ComponentId, grid::NodeId>& placed) const;
 
  private:
-  Schedule scheduleOne(const Dag& dag, Heuristic h) const;
+  struct Workspace;
+
+  Schedule scheduleOne(const Dag& dag, Heuristic h, Workspace& ws) const;
+  Schedule scheduleOneReference(const Dag& dag, Heuristic h) const;
+
+#ifdef NDEBUG
+  static constexpr bool kCrossCheckDefault = false;
+#else
+  static constexpr bool kCrossCheckDefault = true;
+#endif
 
   const Estimator* estimator_;
   std::vector<grid::NodeId> resources_;
   RankWeights weights_;
+  bool crossCheck_ = kCrossCheckDefault;
 };
 
 /// Baselines for the evaluation:
