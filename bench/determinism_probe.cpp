@@ -1,0 +1,416 @@
+// Replay-divergence oracle — the runtime complement to grads-lint.
+//
+// Each probed scenario runs TWICE in-process with a fresh engine, grid, and
+// service stack. Every event the engine fires folds its (time, key, daemon)
+// identity into an FNV-1a stream digest (util::DigestStream), and scenario
+// outputs — scheduler placements, incarnation mappings, integrity and
+// journal counters — fold in on top. The two digests must be bit-identical:
+// any pointer-keyed iteration, unseeded randomness, or wall-clock leak that
+// feeds a scheduling decision shifts the event stream and shows up here,
+// including the ASLR-order bugs the static rules (R2) can flag but never
+// prove absent. Heap layout differs between the two runs by construction
+// (the first run's allocations are freed before the second starts), so an
+// address-dependent decision has every opportunity to diverge.
+//
+// Scenarios: engine churn, perf DAG scheduling, chaos campaign, integrity
+// campaign, governed thrash — one per subsystem family the roadmap keeps
+// rewriting.
+//
+// Usage: determinism_probe [--quick]   (--quick: engine + DAG probes only)
+// Exit:  0 = all digests bit-identical, 1 = divergence (prints offender).
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/qr.hpp"
+#include "core/app_manager.hpp"
+#include "grid/load.hpp"
+#include "grid/testbeds.hpp"
+#include "reschedule/chaos.hpp"
+#include "reschedule/failure.hpp"
+#include "reschedule/governor.hpp"
+#include "reschedule/journal.hpp"
+#include "reschedule/rescheduler.hpp"
+#include "services/gis.hpp"
+#include "services/ibp.hpp"
+#include "services/nws.hpp"
+#include "sim/engine.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "workflow/builders.hpp"
+#include "workflow/scheduler.hpp"
+
+using namespace grads;
+
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+/// Installs the pop-stream fold on an engine for one scenario run.
+void observe(sim::Engine& eng, util::DigestStream& ds) {
+  eng.setPopObserver(
+      [](void* ctx, sim::Time t, std::uint64_t key, bool daemon) {
+        auto* s = static_cast<util::DigestStream*>(ctx);
+        s->put(t);
+        s->put(key);
+        s->put(static_cast<std::uint64_t>(daemon));
+      },
+      &ds);
+}
+
+void foldBreakdown(util::DigestStream& ds, const core::RunBreakdown& bd) {
+  ds.put(bd.totalSeconds);
+  ds.put(static_cast<std::uint64_t>(bd.incarnations));
+  ds.put(static_cast<std::uint64_t>(bd.launchFailures));
+  ds.put(static_cast<std::uint64_t>(bd.restoreFailures));
+  ds.put(static_cast<std::uint64_t>(bd.integrityRejects));
+  ds.put(static_cast<std::uint64_t>(bd.scrubRepairs));
+  ds.put(static_cast<std::uint64_t>(bd.actionsCommitted));
+  ds.put(static_cast<std::uint64_t>(bd.actionsRolledBack));
+  ds.put(static_cast<std::uint64_t>(bd.violationsSuppressed));
+  for (const auto& mapping : bd.mappings) {
+    for (const auto node : mapping) ds.put(static_cast<std::uint64_t>(node));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Probe 1: raw engine churn — schedule/cancel/daemon mix driven by Rng.
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeEngineChurn(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+
+  Rng rng(seed);
+  std::vector<sim::Engine::EventHandle> handles;
+  for (int i = 0; i < 20000; ++i) {
+    const double delay = rng.exponential(0.1);
+    if (rng.uniform() < 0.15) {
+      handles.push_back(eng.scheduleDaemon(delay, [] {}));
+    } else {
+      handles.push_back(eng.schedule(delay, [] {}));
+    }
+    // Cancel a random earlier handle now and then: exercises the free list
+    // and the eager non-daemon decrement, both of which must recycle nodes
+    // in an address-independent order.
+    if (i % 7 == 3 && !handles.empty()) {
+      handles[static_cast<std::size_t>(
+                  rng.uniformInt(0, static_cast<std::int64_t>(
+                                        handles.size() - 1)))]
+          .cancel();
+    }
+  }
+  eng.run();
+  ds.put(static_cast<std::uint64_t>(eng.processedEvents()));
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
+// Probe 2: perf DAG scheduling — placements across heuristics and shapes.
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeSchedDags(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+  grid::Grid g(eng);
+  grid::buildMacroGrid(g);
+  services::Gis gis(g);
+  workflow::GridEstimator estimator(gis, nullptr);
+  Rng rng(seed);
+
+  std::vector<workflow::Dag> dags;
+  dags.push_back(workflow::makeChain(12, 4e10, 8 * kMB));
+  dags.push_back(workflow::makeFanOutIn(16, 3e10, 4 * kMB));
+  dags.push_back(workflow::makeLigoLike(32, rng));
+  dags.push_back(workflow::makeParameterSweep(48, rng));
+  dags.push_back(workflow::makeRandomLayered(4, 6, rng));
+
+  workflow::WorkflowScheduler ws(estimator, g.allNodes());
+  for (const auto& dag : dags) {
+    for (const auto h :
+         {workflow::Heuristic::kMinMin, workflow::Heuristic::kMaxMin,
+          workflow::Heuristic::kSufferage,
+          workflow::Heuristic::kBestOfThree}) {
+      const workflow::Schedule s = ws.schedule(dag, h);
+      ds.put(s.makespan);
+      for (const auto& a : s.assignments) {
+        ds.put(static_cast<std::uint64_t>(a.component));
+        ds.put(static_cast<std::uint64_t>(a.node));
+        ds.put(a.start);
+        ds.put(a.finish);
+      }
+    }
+  }
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
+// Probe 3: chaos campaign — faults + mitigations (PR 1 machinery).
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeChaos(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kScalapack);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  gis.installEverywhere(services::software::kAutopilotSensors);
+  for (const auto node : tb.utkNodes) gis.setNodeUp(node, false);
+  services::Nws nws(eng, g, 10.0, 0.0, 9);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+  reschedule::FailureInjector injector(eng, gis);
+  reschedule::ChaosDriver chaos(eng, g, injector, &nws, &ibp);
+
+  const grid::NodeId depot = tb.uiucNodes[7];
+  reschedule::CampaignConfig cc;
+  cc.seed = seed;
+  cc.horizonSec = 450.0;
+  cc.nodeFailures = 1;
+  cc.nodeOutageSec = 400.0;
+  cc.detectionDelaySec = 5.0;
+  cc.gisLagSec = 45.0;
+  cc.candidateNodes.assign(tb.uiucNodes.begin(), tb.uiucNodes.begin() + 6);
+  cc.depotOutages = 2;
+  cc.depotOutageSec = 200.0;
+  cc.candidateDepots = {depot};
+  cc.nwsOutages = 1;
+  cc.nwsOutageSec = 300.0;
+  chaos.armAll(reschedule::makeCampaign(cc));
+
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  cfg.checkpointEveryPanels = 8;
+  const core::Cop cop = apps::makeQrCop(g, cfg);
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+  core::ManagerOptions mopts;
+  mopts.monitorContract = false;
+  mopts.stableDepot = depot;
+  mopts.failures = &injector;
+  mopts.retrySeed = seed;
+  mopts.depotRetry.maxAttempts = 3;
+  mopts.depotRetry.baseDelaySec = 20.0;
+  mopts.replicaDepot = tb.uiucNodes[6];
+
+  core::RunBreakdown bd;
+  eng.spawn(mgr.run(cop, nullptr, mopts, &bd), "qr");
+  eng.run();
+  eng.rethrowIfFailed();
+  foldBreakdown(ds, bd);
+  ds.put(static_cast<std::uint64_t>(chaos.counters().total()));
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
+// Probe 4: integrity campaign — corruption + verification (PR 2 machinery).
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeIntegrity(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kScalapack);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  gis.installEverywhere(services::software::kAutopilotSensors);
+  for (const auto node : tb.utkNodes) gis.setNodeUp(node, false);
+  services::Nws nws(eng, g, 10.0, 0.0, 9);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+  reschedule::FailureInjector injector(eng, gis);
+  reschedule::ChaosDriver chaos(eng, g, injector, &nws, &ibp);
+
+  const grid::NodeId depot = tb.uiucNodes[7];
+  const grid::NodeId replica = tb.uiucNodes[6];
+  reschedule::CampaignConfig cc;
+  cc.seed = seed;
+  cc.horizonSec = 450.0;
+  cc.nodeFailures = 1;
+  cc.nodeOutageSec = 400.0;
+  cc.detectionDelaySec = 5.0;
+  cc.candidateNodes.assign(tb.uiucNodes.begin(), tb.uiucNodes.begin() + 6);
+  cc.bitFlips = 8;
+  cc.tornWrites = 4;
+  cc.staleDeliveries = 4;
+  cc.tornKeepFrac = 0.5;
+  cc.integrityDepots = {depot, replica};
+  chaos.armAll(reschedule::makeCampaign(cc));
+
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  cfg.checkpointEveryPanels = 8;
+  const core::Cop cop = apps::makeQrCop(g, cfg);
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+  core::ManagerOptions mopts;
+  mopts.monitorContract = false;
+  mopts.stableDepot = depot;
+  mopts.replicaDepot = replica;
+  mopts.failures = &injector;
+  mopts.retrySeed = seed;
+  mopts.depotRetry.maxAttempts = 3;
+  mopts.depotRetry.baseDelaySec = 20.0;
+  mopts.verifyCheckpoints = true;
+  mopts.fenceWrites = true;
+  mopts.scrubPeriodSec = 60.0;
+
+  core::RunBreakdown bd;
+  eng.spawn(mgr.run(cop, nullptr, mopts, &bd), "qr");
+  eng.run();
+  eng.rethrowIfFailed();
+  foldBreakdown(ds, bd);
+  const auto& cnt = chaos.counters();
+  ds.put(static_cast<std::uint64_t>(cnt.bitFlips + cnt.tornWrites +
+                                    cnt.staleDeliveries));
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
+// Probe 5: governed thrash — flapping load + governor (PR 3 machinery).
+// ---------------------------------------------------------------------------
+
+grid::LoadTrace squareWave(double firstOnset, double period, double weight,
+                           int cycles) {
+  std::vector<grid::LoadPhase> phases;
+  for (int c = 0; c < cycles; ++c) {
+    const double on = firstOnset + 2.0 * period * c;
+    phases.push_back({on, weight});
+    phases.push_back({on + period, 0.0});
+  }
+  return grid::LoadTrace(phases);
+}
+
+std::uint64_t probeThrash(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+  grid::Grid g(eng);
+  const auto east = g.addCluster(
+      grid::ClusterSpec{"east", "East", grid::fastEthernetLan("east.lan", 4)});
+  const auto west = g.addCluster(
+      grid::ClusterSpec{"west", "West", grid::fastEthernetLan("west.lan", 4)});
+  std::vector<grid::NodeId> eastNodes;
+  std::vector<grid::NodeId> westNodes;
+  for (int i = 0; i < 4; ++i) {
+    eastNodes.push_back(g.addNode(east, grid::utkQrNodeSpec(i)));
+    westNodes.push_back(g.addNode(west, grid::utkQrNodeSpec(i + 4)));
+  }
+  g.connectClusters(east, west,
+                    grid::internetWan("east-west.wan", 0.005, 12.0 * kMB));
+
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kScalapack);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  gis.installEverywhere(services::software::kAutopilotSensors);
+  services::Nws nws(eng, g, 10.0, 0.02, seed);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+
+  const double period = 90.0;
+  const double weight = 3.0;
+  for (const auto n : eastNodes) {
+    grid::applyLoadTrace(eng, g.node(n), squareWave(period, period, weight, 10));
+  }
+  for (const auto n : westNodes) {
+    grid::applyLoadTrace(eng, g.node(n),
+                         squareWave(2.0 * period, period, weight, 10));
+  }
+
+  apps::QrConfig cfg;
+  cfg.n = 6000;
+  const core::Cop cop = apps::makeQrCop(g, cfg);
+
+  reschedule::ActionJournal journal(eng);
+  reschedule::ReschedulerOptions ropts;
+  ropts.worstCaseMigrationSec = 40.0;
+  reschedule::StopRestartRescheduler rescheduler(gis, &nws, ropts);
+  rescheduler.setJournal(&journal);
+
+  reschedule::GovernorOptions gopts;
+  gopts.quorumK = 2;
+  gopts.quorumN = 4;
+  gopts.hysteresisBand = 0.1;
+  gopts.cooldownSec = 600.0;
+  gopts.maxConcurrentActions = 1;
+  reschedule::ViolationGovernor governor(eng, journal, gopts);
+
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+  core::ManagerOptions mopts;
+  mopts.journal = &journal;
+  mopts.governor = &governor;
+  mopts.retrySeed = seed;
+
+  core::RunBreakdown bd;
+  eng.spawn(mgr.run(cop, &rescheduler, mopts, &bd), "qr");
+  eng.run();
+  eng.rethrowIfFailed();
+  foldBreakdown(ds, bd);
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
+
+struct Probe {
+  const char* name;
+  std::uint64_t (*run)(std::uint64_t seed);
+  std::uint64_t seed;
+  bool quick;  ///< included in --quick (CI smoke / ctest) mode
+};
+
+constexpr Probe kProbes[] = {
+    {"engine-churn", probeEngineChurn, 1234, true},
+    {"sched-dags", probeSchedDags, 2024, true},
+    {"chaos-qr", probeChaos, 11, false},
+    {"integrity-qr", probeIntegrity, 21, false},
+    {"thrash-governed", probeThrash, 31, false},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  std::cout << "replay-divergence oracle: each scenario runs twice with a "
+               "fresh engine;\ndigests must match bit-for-bit.\n\n";
+  std::cout << std::left << std::setw(18) << "scenario" << std::setw(20)
+            << "digest(run1)" << std::setw(20) << "digest(run2)"
+            << "verdict\n";
+
+  int divergences = 0;
+  for (const Probe& p : kProbes) {
+    if (quick && !p.quick) continue;
+    const std::uint64_t d1 = p.run(p.seed);
+    const std::uint64_t d2 = p.run(p.seed);
+    const bool ok = d1 == d2;
+    if (!ok) ++divergences;
+    std::cout << std::left << std::setw(18) << p.name << std::setw(20)
+              << std::hex << d1 << std::setw(20) << d2 << std::dec
+              << (ok ? "identical" : "DIVERGED") << "\n";
+  }
+  if (divergences > 0) {
+    std::cout << "\n" << divergences
+              << " scenario(s) diverged between identical runs — "
+                 "nondeterminism reached the event stream.\n";
+    return 1;
+  }
+  std::cout << "\nall probed scenarios replay bit-identically.\n";
+  return 0;
+}

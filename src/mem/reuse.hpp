@@ -69,6 +69,9 @@ class ReuseDistanceAnalyzer {
 
   std::vector<std::int64_t> fenwick_;
   std::vector<std::uint8_t> active_;
+  // Determinism audit (grads-lint R2): lookup-only — find/emplace by block
+  // id, never iterated. Distances come from the Fenwick tree and histograms
+  // from ordered buckets, so hash order never reaches any reported number.
   std::unordered_map<std::uint64_t, std::uint64_t> lastAccess_;
   std::uint64_t time_ = 0;
   ReuseHistogram global_;

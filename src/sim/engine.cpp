@@ -192,6 +192,9 @@ bool Engine::popAndFire(QueueEntry top) {
   }
   GRADS_ASSERT(top.t >= now_, "event queue time went backwards");
   now_ = top.t;
+  if (popObserver_ != nullptr) {
+    popObserver_(popObserverCtx_, top.t, top.key, node.daemon());
+  }
   if (!node.daemon()) --nonDaemonPending_;
   // Stale-ify the handle before invoking (a callback cancelling itself is a
   // no-op, matching the old semantics). Chunked node storage is address-

@@ -82,6 +82,19 @@ class Engine {
   /// Stops the run loop after the current event.
   void stop() { stopped_ = true; }
 
+  /// Replay-divergence oracle hook: called for every *live* event the run
+  /// loop fires, with the event's (time, key, daemon) identity — `key` packs
+  /// the lifetime sequence number and pooled node index, so two runs that
+  /// fold identical streams scheduled, recycled, and fired in the identical
+  /// order. A raw function pointer (not InlineFn/std::function) keeps the
+  /// disabled path to one predictable branch.
+  using PopObserver = void (*)(void* ctx, Time t, std::uint64_t key,
+                               bool daemon);
+  void setPopObserver(PopObserver fn, void* ctx) {
+    popObserver_ = fn;
+    popObserverCtx_ = ctx;
+  }
+
   std::size_t processedEvents() const { return processed_; }
   /// Number of live (not yet fired, not cancelled) scheduled events.
   /// Cancelled corpses still sitting in the queue are not counted.
@@ -286,6 +299,8 @@ class Engine {
   }
 
   Time now_ = 0.0;
+  PopObserver popObserver_ = nullptr;
+  void* popObserverCtx_ = nullptr;
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;
   std::size_t nonDaemonPending_ = 0;

@@ -39,4 +39,33 @@ inline std::uint64_t hashCombine(std::uint64_t h, double v) {
   return hashCombine(h, bits);
 }
 
+/// Order-sensitive stream digest over an FNV-1a/hash-combine fold — the
+/// replay-divergence oracle's accumulator. Two runs of the same scenario
+/// must fold the same values in the same order to produce the same digest;
+/// any address-order or wall-clock leak shows up as a digest mismatch.
+/// The element count is folded into digest() so a truncated stream cannot
+/// collide with its own prefix.
+class DigestStream {
+ public:
+  void put(std::uint64_t v) {
+    h_ = hashCombine(h_, v);
+    ++count_;
+  }
+  void put(double v) {
+    h_ = hashCombine(h_, v);
+    ++count_;
+  }
+  void put(const std::string& s) {
+    h_ = hashCombine(h_, fnv1a64(s));
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t digest() const { return hashCombine(h_, count_); }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+  std::uint64_t count_ = 0;
+};
+
 }  // namespace grads::util

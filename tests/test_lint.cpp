@@ -1,0 +1,478 @@
+// Unit fixtures for grads-lint (rules R1–R5, suppressions, lexer traps) and
+// digest-stability checks for the replay-divergence oracle's primitives.
+//
+// Every rule gets: a positive fixture (must flag), a negative fixture (must
+// stay silent), a suppressed fixture (flag + inline waiver), and a
+// string/comment trap (banned spelling inside a literal or comment must not
+// flag). Fixture sources are raw strings, which doubles as a lexer test:
+// grads-lint linting THIS file must see the fixtures as string literals and
+// report nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "sim/engine.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using grads::lint::Finding;
+using grads::lint::TreeReport;
+
+TreeReport lintOne(const std::string& path, const std::string& src) {
+  return grads::lint::lintSources({{path, src}});
+}
+
+int countRule(const TreeReport& r, const std::string& rule,
+              bool suppressed = false) {
+  return static_cast<int>(std::count_if(
+      r.findings.begin(), r.findings.end(), [&](const Finding& f) {
+        return f.rule == rule && f.suppressed == suppressed;
+      }));
+}
+
+// ---------------------------------------------------------------------------
+// R1 — wall-clock / ambient randomness.
+// ---------------------------------------------------------------------------
+
+TEST(LintR1, FlagsWallClockAndLibcRandomness) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void f() {
+      auto t = std::chrono::system_clock::now();
+      std::random_device rd;
+      srand(42);
+      int x = rand();
+      long n = time(nullptr);
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1"), 5);
+}
+
+TEST(LintR1, SilentOnRngAndMemberCalls) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    #include "util/rng.hpp"
+    void f(grads::Rng& rng, Engine& eng) {
+      double u = rng.uniform();
+      double t = eng.time();      // member named time(): simulated, fine
+      double s = clockModel.rand(); // member named rand(): fine
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1"), 0);
+}
+
+TEST(LintR1, UtilRngItselfIsAllowed) {
+  const auto r = lintOne("src/util/rng.cpp", R"cpp(
+    #include <random>
+    std::random_device seedSource;
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1"), 0);
+  EXPECT_EQ(countRule(r, "R5"), 0);
+}
+
+TEST(LintR1, BenchIsAllowlisted) {
+  const auto r = lintOne("bench/perf_harness.cpp", R"cpp(
+    #include <chrono>
+    using Clock = std::chrono::steady_clock;
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1"), 0);
+  EXPECT_EQ(countRule(r, "R5"), 0);
+}
+
+TEST(LintR1, StringAndCommentTrap) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // system_clock and rand() only in a comment; time( too.
+    const char* msg = "do not call rand() or srand() or system_clock";
+    /* steady_clock random_device */
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1"), 0);
+}
+
+TEST(LintR1, Suppressed) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // grads-lint: allow(R1 calibration-only wall clock, never in decisions)
+    auto t0 = std::chrono::steady_clock::now();
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1", /*suppressed=*/false), 0);
+  EXPECT_EQ(countRule(r, "R1", /*suppressed=*/true), 1);
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_TRUE(r.suppressions[0].used);
+  EXPECT_EQ(r.suppressions[0].rule, "R1");
+}
+
+// ---------------------------------------------------------------------------
+// R2 — address-order nondeterminism.
+// ---------------------------------------------------------------------------
+
+TEST(LintR2, FlagsPointerKeyedContainers) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    std::map<Task*, int> byTask;
+    std::unordered_map<Node*, double> byNode;
+    std::set<const Obj*> live;
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2"), 3);
+}
+
+TEST(LintR2, SilentOnValueKeys) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    std::map<int, Task*> byId;           // pointer VALUES are fine
+    std::unordered_map<std::string, int> byName;
+    std::set<std::pair<int, int>> pairs;
+    void g() { Set& set = sets_[0]; set.map.find(3); }  // vars named set/map
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2"), 0);
+}
+
+TEST(LintR2, FlagsUnorderedIterationReachingDecisionApis) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    std::unordered_map<int, Item> pending_;
+    void drain(Engine& eng) {
+      for (auto& [id, item] : pending_) {
+        eng.schedule(1.0, item.fn);   // hash order -> event order: bug
+      }
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        emit(it->second);
+      }
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2"), 2);
+}
+
+TEST(LintR2, SilentOnDecisionFreeIterationAndOrderedContainers) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    std::unordered_map<int, int> counts_;
+    std::map<int, Item> ordered_;
+    void tally(Engine& eng) {
+      int sum = 0;
+      for (auto& [k, v] : counts_) sum += v;   // pure fold: fine
+      for (auto& [k, v] : ordered_) eng.schedule(1.0, v);  // ordered: fine
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2"), 0);
+}
+
+TEST(LintR2, FlagsPointerComparingPredicate) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void s(std::vector<Node*>& xs) {
+      std::sort(xs.begin(), xs.end(),
+                [](const Node* a, const Node* b) { return a < b; });
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2"), 1);
+}
+
+TEST(LintR2, SilentOnFieldComparingPredicate) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void s(std::vector<Node*>& xs) {
+      std::sort(xs.begin(), xs.end(),
+                [](const Node* a, const Node* b) { return a->id < b->id; });
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2"), 0);
+}
+
+TEST(LintR2, Suppressed) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // grads-lint: allow(R2 diagnostic dump, order reaches logs only)
+    std::unordered_map<Tag*, int> debugCounts;
+  )cpp");
+  EXPECT_EQ(countRule(r, "R2", false), 0);
+  EXPECT_EQ(countRule(r, "R2", true), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R3 — side effects inside check macros.
+// ---------------------------------------------------------------------------
+
+TEST(LintR3, FlagsMutationsInsideChecks) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void f(int n, std::vector<int>& v) {
+      GRADS_REQUIRE(n++ > 0, "increment in check");
+      GRADS_ASSERT(v.erase(v.begin()) != v.end(), "erase in check");
+      assert(n = 3);
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R3"), 3);
+}
+
+TEST(LintR3, SilentOnPureChecksAndMessageExpressions) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void f(int n, const std::vector<int>& v, const char* caller) {
+      GRADS_REQUIRE(n >= 0 && n <= 3, "comparisons are pure");
+      GRADS_REQUIRE(!v.empty(), std::string(caller) + ": msg concat is fine");
+      GRADS_ASSERT(v.size() == 4, "size() is const");
+      static_assert(sizeof(int) == 4);
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R3"), 0);
+}
+
+TEST(LintR3, StringTrap) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    const char* doc = "GRADS_REQUIRE(x++, ...) would be a bug";
+    // GRADS_ASSERT(v.pop(), "commented out")
+  )cpp");
+  EXPECT_EQ(countRule(r, "R3"), 0);
+}
+
+TEST(LintR3, Suppressed) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void f(Queue& q) {
+      // grads-lint: allow(R3 checked in both build legs by test_sim)
+      GRADS_ASSERT(q.pop() != nullptr, "fixture");
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R3", false), 0);
+  EXPECT_EQ(countRule(r, "R3", true), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R4 — raw allocation / std::function on hot paths.
+// ---------------------------------------------------------------------------
+
+TEST(LintR4, FlagsRawNewDeleteOutsidePool) {
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    void f() {
+      int* p = new int(3);
+      delete p;
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R4"), 2);
+}
+
+TEST(LintR4, PoolInternalsAreAllowed) {
+  const auto r = lintOne("src/sim/engine.cpp", R"cpp(
+    void grow() { chunks_.emplace_back(new Node[4096]); }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R4"), 0);
+}
+
+TEST(LintR4, SilentOnDeletedFunctionsAndSmartPointers) {
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    struct A {
+      A(const A&) = delete;
+      A& operator=(const A&) = delete;
+    };
+    auto p = std::make_unique<A>();
+  )cpp");
+  EXPECT_EQ(countRule(r, "R4"), 0);
+}
+
+TEST(LintR4, FlagsStdFunctionInSim) {
+  const auto hot = lintOne("src/sim/foo.hpp", R"cpp(
+    #pragma once
+    struct Q { std::function<void()> cb; };
+  )cpp");
+  EXPECT_EQ(countRule(hot, "R4"), 1);
+  // Outside src/sim, std::function is allowed (cold control paths).
+  const auto cold = lintOne("src/core/foo.hpp", R"cpp(
+    #pragma once
+    struct Q { std::function<void()> cb; };
+  )cpp");
+  EXPECT_EQ(countRule(cold, "R4"), 0);
+}
+
+TEST(LintR4, Suppressed) {
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    void f() {
+      // grads-lint: allow(R4 interop with C API that takes ownership)
+      auto* raw = new Blob();
+      take(raw);
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R4", false), 0);
+  EXPECT_EQ(countRule(r, "R4", true), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R5 — include hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(LintR5, FlagsBannedHeadersInSrc) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    #include <chrono>
+    #include <ctime>
+    #include <thread>
+    #include <random>
+  )cpp");
+  EXPECT_EQ(countRule(r, "R5"), 4);
+}
+
+TEST(LintR5, HeaderHygiene) {
+  const auto r = lintOne("src/core/foo.hpp",
+                         "#include \"../grid/node.hpp\"\n"
+                         "using namespace std;\n");
+  // Missing pragma once + parent-relative include + using-namespace.
+  EXPECT_EQ(countRule(r, "R5"), 3);
+}
+
+TEST(LintR5, CleanHeaderPasses) {
+  const auto r = lintOne("src/core/foo.hpp", R"cpp(#pragma once
+
+#include <vector>
+
+#include "grid/node.hpp"
+
+namespace grads::core {
+class Foo {};
+}  // namespace grads::core
+)cpp");
+  EXPECT_EQ(countRule(r, "R5"), 0);
+}
+
+TEST(LintR5, LeadingCommentBeforePragmaIsFine) {
+  const auto r = lintOne("src/core/foo.hpp",
+                         "// License header comment.\n#pragma once\n");
+  EXPECT_EQ(countRule(r, "R5"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression machinery.
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressions, StaleWaiverIsReportedUnused) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // grads-lint: allow(R1 nothing here actually trips R1)
+    int x = 3;
+  )cpp");
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_FALSE(r.suppressions[0].used);
+  EXPECT_EQ(r.unsuppressedCount(), 0);
+}
+
+TEST(LintSuppressions, WaiverForWrongRuleDoesNotSuppress) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // grads-lint: allow(R4 wrong rule id)
+    srand(1);
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1", false), 1);
+  EXPECT_EQ(countRule(r, "R1", true), 0);
+}
+
+TEST(LintSuppressions, MultiRuleWaiver) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // grads-lint: allow(R1,R5 fixture exercising both)
+    #include <ctime>
+  )cpp");
+  // The include is R5; R1 part of the waiver goes stale.
+  EXPECT_EQ(countRule(r, "R5", true), 1);
+  EXPECT_EQ(r.unsuppressedCount(), 0);
+  const int stale = static_cast<int>(std::count_if(
+      r.suppressions.begin(), r.suppressions.end(),
+      [](const auto& s) { return !s.used; }));
+  EXPECT_EQ(stale, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer traps.
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, RawStringsAndDigitSeparators) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    const char* r = R"(srand(1); system_clock; new int;)";
+    long big = 1'000'000;  // separator must not start a char literal
+    char q = '"';          // quote in char literal must not open a string
+    srand(big);
+  )cpp");
+  // Only the real srand() call — nothing from inside the raw string.
+  EXPECT_EQ(countRule(r, "R1"), 1);
+}
+
+TEST(LintLexer, MacroDefinitionsAreNotCode) {
+  const auto r = lintOne("src/core/foo.hpp",
+                         "#pragma once\n"
+                         "#define HELPER(x)   \\\n"
+                         "  do { srand(x); } while (false)\n");
+  // The macro BODY defines the banned call; expansion sites get flagged
+  // instead. (GRADS_REQUIRE's own definition stays lintable for the same
+  // reason.)
+  EXPECT_EQ(countRule(r, "R1"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle digest primitives.
+// ---------------------------------------------------------------------------
+
+TEST(DigestStream, OrderSensitiveAndPrefixSafe) {
+  grads::util::DigestStream a;
+  grads::util::DigestStream b;
+  a.put(std::uint64_t{1});
+  a.put(std::uint64_t{2});
+  b.put(std::uint64_t{2});
+  b.put(std::uint64_t{1});
+  EXPECT_NE(a.digest(), b.digest());  // order matters
+
+  grads::util::DigestStream c;
+  c.put(std::uint64_t{1});
+  EXPECT_NE(a.digest(), c.digest());  // prefix cannot collide (count folded)
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(DigestStream, DoubleBitsAreFolded) {
+  grads::util::DigestStream a;
+  grads::util::DigestStream b;
+  a.put(0.0);
+  b.put(-0.0);  // distinct bit patterns must yield distinct digests
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+/// The in-test twin of the determinism probe: the same seeded event churn
+/// run twice against fresh engines must fold identical pop streams.
+std::uint64_t churnDigest(std::uint64_t seed, int events) {
+  grads::sim::Engine eng;
+  grads::util::DigestStream ds;
+  eng.setPopObserver(
+      [](void* ctx, grads::sim::Time t, std::uint64_t key, bool daemon) {
+        auto* s = static_cast<grads::util::DigestStream*>(ctx);
+        s->put(t);
+        s->put(key);
+        s->put(static_cast<std::uint64_t>(daemon));
+      },
+      &ds);
+  grads::Rng rng(seed);
+  std::vector<grads::sim::Engine::EventHandle> handles;
+  for (int i = 0; i < events; ++i) {
+    handles.push_back(eng.schedule(rng.exponential(0.5), [] {}));
+    if (i % 5 == 2) {
+      handles[static_cast<std::size_t>(rng.uniformInt(
+                  0, static_cast<std::int64_t>(handles.size() - 1)))]
+          .cancel();
+    }
+  }
+  eng.run();
+  return ds.digest();
+}
+
+TEST(ReplayOracle, IdenticalRunsFoldIdenticalDigests) {
+  EXPECT_EQ(churnDigest(42, 2000), churnDigest(42, 2000));
+  EXPECT_EQ(churnDigest(7, 2000), churnDigest(7, 2000));
+}
+
+TEST(ReplayOracle, DifferentStreamsFoldDifferentDigests) {
+  EXPECT_NE(churnDigest(42, 2000), churnDigest(43, 2000));
+  EXPECT_NE(churnDigest(42, 2000), churnDigest(42, 2001));
+}
+
+TEST(ReplayOracle, ObserverSeesEveryLiveEventOnce) {
+  grads::sim::Engine eng;
+  struct Count {
+    int pops = 0;
+  } count;
+  eng.setPopObserver(
+      [](void* ctx, grads::sim::Time, std::uint64_t, bool) {
+        ++static_cast<Count*>(ctx)->pops;
+      },
+      &count);
+  for (int i = 0; i < 10; ++i) eng.schedule(0.1 * i, [] {});
+  auto doomed = eng.schedule(0.05, [] {});
+  doomed.cancel();  // cancelled corpse must NOT reach the observer
+  eng.run();
+  EXPECT_EQ(count.pops, 10);
+  EXPECT_EQ(eng.processedEvents(), 10u);
+}
+
+}  // namespace

@@ -1,0 +1,265 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace grads::lint {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first within each leading character.
+/// Longest-match here is what keeps rule scans honest: "==" must never be
+/// seen as an assignment and "--" never as two unary minuses.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "##",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        atLineStart_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        lexLineComment();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        lexBlockComment();
+        continue;
+      }
+      if (c == '#' && atLineStart_) {
+        lexDirective();
+        continue;
+      }
+      atLineStart_ = false;
+      if (c == '"') {
+        lexString(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        lexCharLiteral();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        lexNumber();
+        continue;
+      }
+      if (isIdentStart(c)) {
+        lexIdentOrRawString();
+        continue;
+      }
+      lexPunct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void emit(Tok kind, std::size_t begin, std::size_t end, int line) {
+    result_.tokens.push_back(
+        Token{kind, src_.substr(begin, end - begin), line});
+  }
+
+  void lexLineComment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    result_.comments.push_back(
+        Token{Tok::kIdent, src_.substr(begin, pos_ - begin), line});
+  }
+
+  void lexBlockComment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ + 1 < src_.size() &&
+           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + 2 <= src_.size() ? pos_ + 2 : src_.size();
+    result_.comments.push_back(
+        Token{Tok::kIdent, src_.substr(begin, pos_ - begin), line});
+  }
+
+  /// One directive = everything to the end of line, following `\` line
+  /// continuations; an embedded // or /* comment ends the directive's text
+  /// (the comment is lexed separately so suppressions on directives work).
+  void lexDirective() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        // A continuation keeps the directive open across the newline.
+        std::size_t back = pos_;
+        while (back > begin &&
+               (src_[back - 1] == ' ' || src_[back - 1] == '\t' ||
+                src_[back - 1] == '\r')) {
+          --back;
+        }
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == '/' || src_[pos_ + 1] == '*')) {
+        break;
+      }
+      ++pos_;
+    }
+    result_.tokens.push_back(
+        Token{Tok::kDirective, src_.substr(begin, pos_ - begin), line});
+    atLineStart_ = false;
+  }
+
+  void lexString(std::size_t begin) {
+    const int line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line counts sane
+      ++pos_;
+      if (c == '"') break;
+    }
+    emit(Tok::kString, begin, pos_, line);
+  }
+
+  void lexRawString(std::size_t begin) {
+    const int line = line_;
+    ++pos_;  // opening quote
+    std::size_t dbegin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    const std::string_view delim = src_.substr(dbegin, pos_ - dbegin);
+    // Scan for )delim"
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_ + 1, delim.size(), delim) == 0 &&
+          pos_ + 1 + delim.size() < src_.size() &&
+          src_[pos_ + 1 + delim.size()] == '"') {
+        pos_ += delim.size() + 2;
+        break;
+      }
+      ++pos_;
+    }
+    emit(Tok::kString, begin, pos_, line);
+  }
+
+  void lexCharLiteral() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '\'' || c == '\n') break;
+    }
+    emit(Tok::kChar, begin, pos_, line);
+  }
+
+  void lexNumber() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_') {
+        ++pos_;
+        continue;
+      }
+      // Digit separator: 1'000'000 — only when sandwiched by digits/alnum.
+      if (c == '\'' && pos_ + 1 < src_.size() &&
+          std::isalnum(static_cast<unsigned char>(src_[pos_ + 1]))) {
+        pos_ += 2;
+        continue;
+      }
+      // Exponent sign: 1e-5, 0x1p+3.
+      if ((c == '+' || c == '-') && pos_ > begin &&
+          (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+           src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, begin, pos_, line);
+  }
+
+  void lexIdentOrRawString() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && isIdentChar(src_[pos_])) ++pos_;
+    const std::string_view id = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      // Raw-string prefix? (R"..", LR"..", u8R"..", uR"..", UR"..")
+      if (id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R") {
+        lexRawString(begin);
+        return;
+      }
+      // Encoding prefix of an ordinary string (L"..", u8"..", u"..", U"..").
+      if (id == "L" || id == "u8" || id == "u" || id == "U") {
+        lexString(begin);
+        return;
+      }
+    }
+    emit(Tok::kIdent, begin, pos_, line);
+  }
+
+  void lexPunct() {
+    const std::size_t begin = pos_;
+    for (const std::string_view p : kPuncts) {
+      if (src_.compare(pos_, p.size(), p) == 0) {
+        pos_ += p.size();
+        emit(Tok::kPunct, begin, pos_, line_);
+        return;
+      }
+    }
+    ++pos_;
+    emit(Tok::kPunct, begin, pos_, line_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool atLineStart_ = true;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace grads::lint

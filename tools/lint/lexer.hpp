@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace grads::lint {
+
+/// Token kinds the rule pass distinguishes. Comments are lexed but routed to
+/// a side channel (they carry suppression annotations, never code), and whole
+/// preprocessor directives — including multi-line macro bodies via `\`
+/// continuations — collapse into one kDirective token, so rule scans never
+/// mistake macro-definition internals for executable statements.
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,     ///< string literal, including raw strings; text covers quotes
+  kChar,       ///< character literal
+  kPunct,      ///< operator / punctuator, longest-match (e.g. "<<=", "==")
+  kDirective,  ///< full preprocessor line(s), text starts at '#'
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  ///< view into the source buffer passed to lex()
+  int line = 0;           ///< 1-based line of the token's first character
+};
+
+struct LexResult {
+  std::vector<Token> tokens;    ///< code stream: comments excluded
+  std::vector<Token> comments;  ///< // and /* */ bodies, for suppressions
+};
+
+/// Tokenizes one translation unit's worth of C++ source. The lexer is
+/// deliberately approximate where precision does not matter to the rules
+/// (no keyword table, no numeric-literal grammar) but exact where it does:
+/// string/char literals (escapes, raw strings, digit separators), comment
+/// boundaries, and multi-character operators.
+LexResult lex(std::string_view source);
+
+}  // namespace grads::lint

@@ -1,0 +1,119 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace grads::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Directories scanned relative to the repo root. Build trees and the
+/// related-work mirror are never scanned.
+constexpr const char* kScanRoots[] = {"src", "bench", "tests", "tools",
+                                      "examples"};
+
+bool lintableFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void appendReport(TreeReport& tree, FileReport&& file) {
+  tree.findings.insert(tree.findings.end(),
+                       std::make_move_iterator(file.findings.begin()),
+                       std::make_move_iterator(file.findings.end()));
+  tree.suppressions.insert(
+      tree.suppressions.end(),
+      std::make_move_iterator(file.suppressions.begin()),
+      std::make_move_iterator(file.suppressions.end()));
+  ++tree.filesScanned;
+}
+
+}  // namespace
+
+int TreeReport::unsuppressedCount() const {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return !f.suppressed; }));
+}
+
+int TreeReport::suppressedCount() const {
+  return static_cast<int>(findings.size()) - unsuppressedCount();
+}
+
+TreeReport lintTree(const fs::path& root) {
+  TreeReport tree;
+  std::vector<fs::path> files;
+  for (const char* sub : kScanRoots) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && lintableFile(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());  // directory order is OS-dependent
+  for (const fs::path& p : files) {
+    const std::string rel = fs::relative(p, root).generic_string();
+    appendReport(tree, analyzeSource(rel, slurp(p)));
+  }
+  return tree;
+}
+
+TreeReport lintSources(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  TreeReport tree;
+  for (const auto& [path, content] : files) {
+    appendReport(tree, analyzeSource(path, content));
+  }
+  return tree;
+}
+
+int printReport(std::ostream& os, const TreeReport& report) {
+  int unsuppressed = 0;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    ++unsuppressed;
+    os << f.file << ":" << f.line << ": " << f.severity << " [" << f.rule
+       << "] " << f.message << "\n";
+  }
+
+  os << "\ngrads-lint: " << report.filesScanned << " files, " << unsuppressed
+     << " finding(s), " << report.suppressedCount() << " suppressed\n";
+
+  bool header = false;
+  for (const Finding& f : report.findings) {
+    if (!f.suppressed) continue;
+    if (!header) {
+      os << "\nsuppression inventory (waivers in effect):\n";
+      header = true;
+    }
+    os << "  " << f.file << ":" << f.line << " [" << f.rule << "] "
+       << (f.suppressReason.empty() ? "(no reason given)" : f.suppressReason)
+       << "\n";
+  }
+  header = false;
+  for (const Suppression& s : report.suppressions) {
+    if (s.used) continue;
+    if (!header) {
+      os << "\nstale allow() annotations (matched no finding — remove):\n";
+      header = true;
+    }
+    os << "  " << s.file << ":" << s.line << " [" << s.rule << "] " << s.reason
+       << "\n";
+  }
+  return unsuppressed;
+}
+
+}  // namespace grads::lint

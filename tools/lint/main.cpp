@@ -1,0 +1,35 @@
+// grads-lint — determinism & safety static analysis for the GrADS tree.
+//
+// Tokenizes every .hpp/.cpp under src/ bench/ tests/ tools/ examples/
+// (comment- and string-aware, no compiler dependency) and enforces the
+// project's determinism invariants R1–R5 (see DESIGN.md). Inline waivers
+// (`grads-lint: allow(RULE reason)`) suppress a finding but stay visible
+// in the printed inventory; stale waivers are reported too.
+//
+// Usage: grads-lint [--root DIR]
+// Exit:  0 = clean (unsuppressed findings == 0), 1 = findings, 2 = usage.
+
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: grads-lint [--root DIR]\n";
+      return 0;
+    } else {
+      std::cerr << "grads-lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  const auto report = grads::lint::lintTree(root);
+  const int unsuppressed = grads::lint::printReport(std::cout, report);
+  return unsuppressed == 0 ? 0 : 1;
+}

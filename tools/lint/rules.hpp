@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace grads::lint {
+
+/// One structured lint finding. `suppressed` is set by the suppression pass
+/// when an inline `// grads-lint: allow(RULE reason)` annotation covers it.
+struct Finding {
+  std::string file;  ///< repo-relative path, forward slashes
+  int line = 0;
+  std::string rule;      ///< "R1".."R5"
+  std::string severity;  ///< "error" (all shipped rules fail CI)
+  std::string message;
+  bool suppressed = false;
+  std::string suppressReason;
+};
+
+/// One inline waiver, parsed from comments. Unused waivers are themselves
+/// reported so stale allow() annotations cannot silently accumulate.
+struct Suppression {
+  std::string file;
+  int line = 0;          ///< line the annotation covers (comment or next line)
+  std::string rule;      ///< rule id it waives
+  std::string reason;    ///< free text after the rule id
+  bool used = false;
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+};
+
+/// Rule catalogue (see DESIGN.md "Determinism invariants"):
+///   R1  wall-clock & ambient randomness banned in src/ (only util/rng
+///       produces randomness; bench/ owns its own timing).
+///   R2  address-order nondeterminism: pointer-keyed associative containers,
+///       unordered-container iteration whose body reaches schedule/emit/
+///       select APIs, pointer-comparison ordering predicates.
+///   R3  side effects inside GRADS_REQUIRE / GRADS_ASSERT / assert
+///       expressions (stripped or divergent across build legs).
+///   R4  raw new/delete outside the sim pool internals; std::function on
+///       engine hot paths already converted to sim::InlineFn.
+///   R5  include hygiene: banned headers in src/, #pragma once in headers,
+///       no parent-relative includes, no using-namespace in headers.
+///
+/// `relPath` selects which rules apply (src/ vs bench/ vs tests/ etc.) and
+/// which per-path allowlists fire; it must use forward slashes.
+FileReport analyzeSource(const std::string& relPath, std::string_view content);
+
+}  // namespace grads::lint
