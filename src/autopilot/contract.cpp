@@ -49,6 +49,21 @@ void ContractMonitor::attachTo(AutopilotManager& manager,
                  [this](const Reading& r) { onPhaseTime(r.value); });
 }
 
+void ContractMonitor::restoreRuntimeState(double upper, double lower,
+                                          std::size_t phase,
+                                          std::size_t violations,
+                                          double lastRatio,
+                                          std::deque<double> ratios) {
+  GRADS_REQUIRE(upper > 1.0 && lower > 0.0 && lower < 1.0,
+                "ContractMonitor::restoreRuntimeState: bad tolerance band");
+  upper_ = upper;
+  lower_ = lower;
+  phase_ = phase;
+  violations_ = violations;
+  lastRatio_ = lastRatio;
+  ratios_ = std::move(ratios);
+}
+
 double ContractMonitor::averageRatio() const {
   if (ratios_.empty()) return lastRatio_;
   return std::accumulate(ratios_.begin(), ratios_.end(), 0.0) /

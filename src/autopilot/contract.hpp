@@ -97,11 +97,24 @@ class ContractMonitor {
   std::size_t phasesSeen() const { return phase_; }
   std::size_t violationsRaised() const { return violations_; }
   double lastRatio() const { return lastRatio_; }
+  /// Ratio window currently backing the confirmation average (snapshotted
+  /// by the application manager so a restored monitor confirms violations
+  /// from the same evidence the pre-crash one held).
+  const std::deque<double>& ratioWindow() const { return ratios_; }
 
   /// Pause/resume monitoring (during migrations the app reports nothing).
   void setEnabled(bool enabled) { enabled_ = enabled; }
   /// Resets phase numbering after a restart on new resources.
   void resetPhase(std::size_t phase) { phase_ = phase; ratios_.clear(); }
+
+  /// Restore-path adoption after a control-plane restart: a freshly
+  /// constructed monitor for a resumed application takes over the pre-crash
+  /// adaptive tolerance band, phase cursor, violation tally, last ratio, and
+  /// confirmation window decoded from the snapshot (the application manager
+  /// owns the encoding — see core/app_manager).
+  void restoreRuntimeState(double upper, double lower, std::size_t phase,
+                           std::size_t violations, double lastRatio,
+                           std::deque<double> ratios);
 
  private:
   double averageRatio() const;

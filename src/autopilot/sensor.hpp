@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "sim/engine.hpp"
 
 namespace grads::autopilot {
@@ -22,9 +23,18 @@ struct Reading {
 /// Contract-Viewer-style trace). The binder "inserts the sensors needed for
 /// monitoring a particular application" by giving the app a reporting
 /// handle onto this registry (paper §1, §2).
-class AutopilotManager {
+///
+/// Snapshot coverage: the reading history and total are serialized; the
+/// subscriber list is not (listeners are std::function callbacks owned by
+/// application frames — resumed applications re-attach their monitors at
+/// relaunch, per the quiescent-boundary rule in DESIGN.md).
+class AutopilotManager : public core::Snapshottable {
  public:
   explicit AutopilotManager(sim::Engine& engine) : engine_(&engine) {}
+
+  const char* snapshotSection() const override { return "autopilot.sensor"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
 
   using Listener = std::function<void(const Reading&)>;
 

@@ -18,7 +18,164 @@ double RunBreakdown::sumSegment(const std::vector<double>& v) const {
 AppManager::AppManager(grid::Grid& grid, services::Gis& gis,
                        const services::Nws* nws, services::Ibp& ibp,
                        autopilot::AutopilotManager& autopilot)
-    : grid_(&grid), gis_(&gis), nws_(nws), ibp_(&ibp), autopilot_(&autopilot) {}
+    : grid_(&grid), gis_(&gis), nws_(nws), ibp_(&ibp), autopilot_(&autopilot) {
+  registry_.add(*this);
+}
+
+core::SnapshotImage AppManager::snapshotNow() {
+  ++snapshotsTaken_;
+  return registry_.capture(gis_->grid().engine().now());
+}
+
+void AppManager::snapshotAt(double t, SnapshotSink sink) {
+  GRADS_REQUIRE(static_cast<bool>(sink), "AppManager::snapshotAt: empty sink");
+  sim::Engine& eng = gis_->grid().engine();
+  GRADS_REQUIRE(t >= eng.now(), "AppManager::snapshotAt: time in the past");
+  eng.scheduleDaemonAt(t, [this, sink = std::move(sink)] {
+    sink(snapshotNow());
+  });
+}
+
+bool AppManager::armSnapshotDaemon(double periodSec, SnapshotSink sink) {
+  GRADS_REQUIRE(periodSec > 0.0,
+                "AppManager::armSnapshotDaemon: period must be > 0");
+  GRADS_REQUIRE(static_cast<bool>(sink),
+                "AppManager::armSnapshotDaemon: empty sink");
+  if (snapshotArmed_) return false;  // arm-once: one capture chain, ever
+  snapshotArmed_ = true;
+  snapshotSink_ = std::move(sink);
+  scheduleSnapshotTick(periodSec);
+  return true;
+}
+
+void AppManager::scheduleSnapshotTick(double periodSec) {
+  gis_->grid().engine().scheduleDaemon(periodSec, [this, periodSec] {
+    snapshotSink_(snapshotNow());
+    scheduleSnapshotTick(periodSec);
+  });
+}
+
+void AppManager::restoreFrom(const core::SnapshotImage& image) {
+  GRADS_REQUIRE(!restoredOnce_,
+                "AppManager::restoreFrom: this manager already restored "
+                "once; a second restore would fork live state from the image");
+  registry_.restore(image);
+  restoredOnce_ = true;
+}
+
+bool AppManager::hasResumeState(const std::string& app) const {
+  return resume_.count(app) > 0;
+}
+
+bool AppManager::isCompleted(const std::string& app) const {
+  return completed_.count(app) > 0;
+}
+
+std::optional<AppManager::ResumeRecord> AppManager::takeResume(
+    const std::string& app) {
+  const auto it = resume_.find(app);
+  if (it == resume_.end()) return std::nullopt;
+  std::optional<ResumeRecord> rec(std::move(it->second));
+  resume_.erase(it);
+  return rec;
+}
+
+void AppManager::encodeState(core::SnapshotWriter& w) const {
+  const auto putMonitor = [&w](bool present, double upper, double lower,
+                               std::size_t phase, std::size_t violations,
+                               double lastRatio,
+                               const std::deque<double>& ratios) {
+    w.putBool(present);
+    if (!present) return;
+    w.putF64(upper);
+    w.putF64(lower);
+    w.putU64(phase);
+    w.putU64(violations);
+    w.putF64(lastRatio);
+    w.putU64(ratios.size());
+    for (const double ratio : ratios) w.putF64(ratio);
+  };
+  const auto putScrub = [&w](const reschedule::DepotScrubber::Stats& s) {
+    w.putI64(s.scans);
+    w.putI64(s.slicesChecked);
+    w.putI64(s.corruptFound);
+    w.putI64(s.missingFound);
+    w.putI64(s.repaired);
+    w.putI64(s.unrepairable);
+    w.putI64(s.deferred);
+  };
+  // One encoder for both live runs and still-unadopted resume records, so
+  // a snapshot taken in the gap between restore and relaunch loses nothing.
+  const auto putApp = [&](const std::string& name,
+                          const reschedule::Rss& rss, bool monPresent,
+                          double upper, double lower, std::size_t phase,
+                          std::size_t violations, double lastRatio,
+                          const std::deque<double>& ratios,
+                          const reschedule::DepotScrubber::Stats& scrub) {
+    w.putStr(name);
+    rss.encodeState(w);
+    putMonitor(monPresent, upper, lower, phase, violations, lastRatio,
+               ratios);
+    putScrub(scrub);
+  };
+
+  w.putU64(completed_.size());
+  for (const auto& name : completed_) w.putStr(name);
+  w.putU64(live_->size() + resume_.size());
+  static const std::deque<double> kNoRatios;
+  for (const auto& [name, rt] : *live_) {
+    const autopilot::ContractMonitor* mon = rt.monitor->get();
+    if (mon != nullptr) {
+      putApp(name, *rt.rss, true, mon->upperTolerance(),
+             mon->lowerTolerance(), mon->phasesSeen(),
+             mon->violationsRaised(), mon->lastRatio(), mon->ratioWindow(),
+             rt.scrubber->stats());
+    } else {
+      putApp(name, *rt.rss, false, 0.0, 0.0, 0, 0, 1.0, kNoRatios,
+             rt.scrubber->stats());
+    }
+  }
+  for (const auto& [name, rec] : resume_) {
+    putApp(name, rec.rss, rec.hasMonitor, rec.monUpper, rec.monLower,
+           rec.monPhase, rec.monViolations, rec.monLastRatio, rec.monRatios,
+           rec.scrubStats);
+  }
+}
+
+void AppManager::decodeState(core::SnapshotReader& r) {
+  sim::Engine& eng = gis_->grid().engine();
+  completed_.clear();
+  resume_.clear();
+  const auto nCompleted = r.getU64();
+  for (std::uint64_t i = 0; i < nCompleted; ++i) completed_.insert(r.getStr());
+  const auto nApps = r.getU64();
+  for (std::uint64_t i = 0; i < nApps; ++i) {
+    const auto name = r.getStr();
+    ResumeRecord rec{reschedule::Rss(eng, name), false, 0.0, 0.0,
+                     0,  0,    1.0, {}, {}};
+    rec.rss.decodeState(r);
+    rec.hasMonitor = r.getBool();
+    if (rec.hasMonitor) {
+      rec.monUpper = r.getF64();
+      rec.monLower = r.getF64();
+      rec.monPhase = static_cast<std::size_t>(r.getU64());
+      rec.monViolations = static_cast<std::size_t>(r.getU64());
+      rec.monLastRatio = r.getF64();
+      const auto nRatios = r.getU64();
+      for (std::uint64_t j = 0; j < nRatios; ++j) {
+        rec.monRatios.push_back(r.getF64());
+      }
+    }
+    rec.scrubStats.scans = static_cast<int>(r.getI64());
+    rec.scrubStats.slicesChecked = static_cast<int>(r.getI64());
+    rec.scrubStats.corruptFound = static_cast<int>(r.getI64());
+    rec.scrubStats.missingFound = static_cast<int>(r.getI64());
+    rec.scrubStats.repaired = static_cast<int>(r.getI64());
+    rec.scrubStats.unrepairable = static_cast<int>(r.getI64());
+    rec.scrubStats.deferred = static_cast<int>(r.getI64());
+    resume_.emplace(name, std::move(rec));
+  }
+}
 
 sim::Task AppManager::run(const Cop& cop,
                           reschedule::StopRestartRescheduler* rescheduler,
@@ -30,9 +187,24 @@ sim::Task AppManager::run(const Cop& cop,
 
   RunBreakdown breakdown;
   reschedule::Rss rss(eng, cop.name);
-  if (options.failures != nullptr) options.failures->watch(rss);
   std::size_t resumePhase = 0;
   bool restored = false;
+  // Control-plane restart: adopt the resume record decoded from the
+  // snapshot (if one waits for this app) before anything observes the RSS.
+  // The relaunch itself then re-arms every per-app background daemon
+  // exactly once — counted in breakdown.daemonRearms.
+  auto resumeRec = takeResume(cop.name);
+  const bool resumedFromSnapshot = resumeRec.has_value();
+  if (resumedFromSnapshot) {
+    rss = std::move(resumeRec->rss);
+    restored = rss.hasCheckpoint();
+    resumePhase = restored ? rss.storedIteration() : 0;
+    GRADS_INFO("app-manager")
+        << log::appAt(cop.name, eng.now())
+        << "resuming from snapshot (incarnation " << rss.incarnation()
+        << ", checkpoint iteration " << resumePhase << ")";
+  }
+  if (options.failures != nullptr) options.failures->watch(rss);
   int consecutiveRestoreFailures = 0;
 
   // Transactional rescheduling state. `priorMapping` is the journaled
@@ -53,7 +225,23 @@ sim::Task AppManager::run(const Cop& cop,
   // The depot scrubber also spans incarnations: corruption mostly bites
   // while the checkpoint sits idle between a stop and the restart.
   reschedule::DepotScrubber scrubber(eng, *ibp_, rss);
-  if (options.scrubPeriodSec > 0.0) scrubber.start(options.scrubPeriodSec);
+  if (resumedFromSnapshot) scrubber.adoptStats(resumeRec->scrubStats);
+  if (options.scrubPeriodSec > 0.0 && scrubber.start(options.scrubPeriodSec) &&
+      resumedFromSnapshot) {
+    ++breakdown.daemonRearms;
+  }
+
+  // Register this run's live state for whole-simulation snapshots. The
+  // guard shares the map, so a frame destroyed during engine teardown —
+  // possibly after the manager itself is gone — still erases its entry
+  // from storage that outlives both.
+  struct LiveRegistration {
+    std::shared_ptr<LiveMap> map;
+    std::string name;
+    ~LiveRegistration() { map->erase(name); }
+  };
+  live_->insert_or_assign(cop.name, AppRuntime{&rss, &monitor, &scrubber});
+  LiveRegistration liveGuard{live_, cop.name};
 
   std::vector<std::string> arrayNames;
   for (const auto& [array, bytes] : cop.checkpointArrays) {
@@ -268,6 +456,15 @@ sim::Task AppManager::run(const Cop& cop,
         monitor->attachTo(*autopilot_,
                           autopilot::phaseTimeChannel(cop.name));
         monitor->setViewer(options.viewer);
+        if (resumedFromSnapshot && resumeRec->hasMonitor) {
+          // Re-adopt the pre-crash adaptive band and confirmation window;
+          // the attachTo above is this monitor's single listener re-arm.
+          monitor->restoreRuntimeState(
+              resumeRec->monUpper, resumeRec->monLower, resumeRec->monPhase,
+              resumeRec->monViolations, resumeRec->monLastRatio,
+              std::move(resumeRec->monRatios));
+          ++breakdown.daemonRearms;
+        }
       } else {
         // "the rescheduler may contact the contract monitor to update the
         // terms of the contract."
@@ -340,7 +537,10 @@ sim::Task AppManager::run(const Cop& cop,
           journal->commit(rec->id, "run completed on target mapping");
         }
       }
-      // Completed. Opportunistic rescheduling may now help someone else.
+      // Completed. Record it for snapshots (a restore protocol must not
+      // respawn a finished app); opportunistic rescheduling may now help
+      // someone else.
+      completed_.insert(cop.name);
       if (rescheduler != nullptr) rescheduler->onAppCompleted();
       break;
     }

@@ -1,15 +1,23 @@
 #pragma once
 
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "autopilot/contract.hpp"
 #include "core/binder.hpp"
 #include "core/cop.hpp"
+#include "core/snapshot.hpp"
 #include "reschedule/failure.hpp"
 #include "reschedule/governor.hpp"
 #include "reschedule/journal.hpp"
 #include "reschedule/rescheduler.hpp"
+#include "reschedule/scrubber.hpp"
 #include "services/ibp.hpp"
 #include "util/retry.hpp"
 
@@ -107,6 +115,11 @@ struct RunBreakdown {
   int actionsCommitted = 0;    ///< actions that reached their commit point
   int actionsRolledBack = 0;   ///< actions resolved back to the prior mapping
   int violationsSuppressed = 0;///< confirmed violations the governor held
+  /// Background daemons re-armed for this app after a control-plane restart
+  /// (scrubber tick chain, contract-monitor listener). Each re-arms exactly
+  /// once per restore — the arm-once guards make a double restore protocol
+  /// visible here instead of silently doubling daemon cadence.
+  int daemonRearms = 0;
 
   double sumSegment(const std::vector<double>& v) const;
 };
@@ -115,7 +128,16 @@ struct RunBreakdown {
 /// Figure 1 — resource selection, performance modeling, binding, launching,
 /// contract monitoring, and (via the rescheduler + RSS/SRS) stop/migrate/
 /// restart cycles until the application completes.
-class AppManager {
+///
+/// It is also the snapshot coordinator for control-plane crash-restart
+/// (DESIGN.md, snapshot/restore invariants): it owns the component registry,
+/// contributes its own "core.apps" section (the completed-apps set plus each
+/// live run's RSS ledger, contract-monitor band, and scrubber totals), and
+/// hands decoded per-app resume records to the next run() of each app.
+/// Coroutine frames are never serialized — a restored app relaunches from
+/// its SRS checkpoint ledger at a quiescent boundary, and every background
+/// daemon is re-armed exactly once by that relaunch.
+class AppManager : public core::Snapshottable {
  public:
   AppManager(grid::Grid& grid, services::Gis& gis, const services::Nws* nws,
              services::Ibp& ibp, autopilot::AutopilotManager& autopilot);
@@ -126,12 +148,90 @@ class AppManager {
                 reschedule::StopRestartRescheduler* rescheduler,
                 ManagerOptions options, RunBreakdown* out);
 
+  // --- Whole-simulation snapshot/restore. ---
+
+  /// Component registry for whole-simulation snapshots. The harness
+  /// registers every Snapshottable control-plane component here (grid
+  /// fabric, GIS, NWS, IBP, journal, governor, Autopilot); the manager
+  /// registers itself at construction.
+  core::SnapshotRegistry& snapshots() { return registry_; }
+
+  /// Captures every registered component right now (a quiescent boundary:
+  /// the engine is between events whenever user code runs).
+  core::SnapshotImage snapshotNow();
+
+  using SnapshotSink = std::function<void(core::SnapshotImage)>;
+  /// One-shot capture at absolute time `t` (a daemon event — it never keeps
+  /// the simulation alive).
+  void snapshotAt(double t, SnapshotSink sink);
+  /// Periodic capture every `periodSec`. Arm-once guarded like the depot
+  /// scrubber: a second call is a no-op returning false, so a sloppy
+  /// restore protocol cannot double the snapshot cadence.
+  bool armSnapshotDaemon(double periodSec, SnapshotSink sink);
+  bool snapshotDaemonArmed() const { return snapshotArmed_; }
+  std::size_t snapshotsTaken() const { return snapshotsTaken_; }
+
+  /// Restores every registered component from the image. Must run on a
+  /// freshly rebuilt control plane, at the image's simulation time, before
+  /// any application is (re)launched: decoding leaves per-app resume
+  /// records that the next run() of each app adopts. Guarded: a second
+  /// restore on the same manager throws (live state would silently fork
+  /// from the image).
+  void restoreFrom(const core::SnapshotImage& image);
+
+  /// True if a decoded resume record is waiting for this app's relaunch.
+  bool hasResumeState(const std::string& app) const;
+  /// True if the restored image recorded this app as completed (the
+  /// restore protocol must not respawn it).
+  bool isCompleted(const std::string& app) const;
+
+  const char* snapshotSection() const override { return "core.apps"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
+
  private:
+  /// Live-run state registered by a run() frame for the snapshot encoder.
+  struct AppRuntime {
+    const reschedule::Rss* rss = nullptr;
+    const std::unique_ptr<autopilot::ContractMonitor>* monitor = nullptr;
+    const reschedule::DepotScrubber* scrubber = nullptr;
+  };
+  /// Shared with run() frames' registration guards (same pattern as
+  /// DepotScrubber::State): a frame torn down during engine destruction —
+  /// when the manager itself may already be gone — still erases its entry
+  /// from a map that outlives the manager.
+  using LiveMap = std::map<std::string, AppRuntime>;
+
+  /// Decoded per-app state waiting for the app's relaunch.
+  struct ResumeRecord {
+    reschedule::Rss rss;
+    bool hasMonitor = false;
+    double monUpper = 0.0;
+    double monLower = 0.0;
+    std::size_t monPhase = 0;
+    std::size_t monViolations = 0;
+    double monLastRatio = 1.0;
+    std::deque<double> monRatios;
+    reschedule::DepotScrubber::Stats scrubStats;
+  };
+
+  void scheduleSnapshotTick(double periodSec);
+  std::optional<ResumeRecord> takeResume(const std::string& app);
+
   grid::Grid* grid_;
   services::Gis* gis_;
   const services::Nws* nws_;
   services::Ibp* ibp_;
   autopilot::AutopilotManager* autopilot_;
+
+  core::SnapshotRegistry registry_;
+  std::shared_ptr<LiveMap> live_ = std::make_shared<LiveMap>();
+  std::set<std::string> completed_;
+  std::map<std::string, ResumeRecord> resume_;
+  SnapshotSink snapshotSink_;
+  bool snapshotArmed_ = false;
+  bool restoredOnce_ = false;
+  std::size_t snapshotsTaken_ = 0;
 };
 
 }  // namespace grads::core

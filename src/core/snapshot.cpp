@@ -1,0 +1,335 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/hash.hpp"
+
+namespace grads::core {
+
+namespace {
+
+// Field type tags. Values are part of the on-disk format; never reorder.
+enum Tag : std::uint64_t {
+  kTagU64 = 1,
+  kTagI64 = 2,
+  kTagF64 = 3,
+  kTagBool = 4,
+  kTagStr = 5,
+};
+
+const char* tagName(std::uint64_t tag) {
+  switch (tag) {
+    case kTagU64: return "u64";
+    case kTagI64: return "i64";
+    case kTagF64: return "f64";
+    case kTagBool: return "bool";
+    case kTagStr: return "str";
+    default: return "?";
+  }
+}
+
+std::uint64_t f64Bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bitsF64(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter / SnapshotReader
+
+void SnapshotWriter::putU64(std::uint64_t v) {
+  words_.push_back(kTagU64);
+  words_.push_back(v);
+}
+
+void SnapshotWriter::putI64(std::int64_t v) {
+  words_.push_back(kTagI64);
+  words_.push_back(static_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::putF64(double v) {
+  words_.push_back(kTagF64);
+  words_.push_back(f64Bits(v));
+}
+
+void SnapshotWriter::putBool(bool v) {
+  words_.push_back(kTagBool);
+  words_.push_back(v ? 1 : 0);
+}
+
+void SnapshotWriter::putStr(const std::string& s) {
+  words_.push_back(kTagStr);
+  words_.push_back(s.size());
+  const std::size_t nWords = (s.size() + 7) / 8;
+  for (std::size_t i = 0; i < nWords; ++i) {
+    std::uint64_t w = 0;
+    const std::size_t n = std::min<std::size_t>(8, s.size() - i * 8);
+    std::memcpy(&w, s.data() + i * 8, n);
+    words_.push_back(w);
+  }
+}
+
+std::uint64_t SnapshotReader::take(const char* what) {
+  if (pos_ >= words_->size()) {
+    throw SnapshotError(std::string("snapshot section exhausted reading ") +
+                        what);
+  }
+  return (*words_)[pos_++];
+}
+
+namespace {
+void checkTag(std::uint64_t got, std::uint64_t want) {
+  if (got != want) {
+    throw SnapshotError(std::string("snapshot field type mismatch: expected ") +
+                        tagName(want) + ", found " + tagName(got));
+  }
+}
+}  // namespace
+
+std::uint64_t SnapshotReader::getU64() {
+  checkTag(take("u64 tag"), kTagU64);
+  return take("u64 value");
+}
+
+std::int64_t SnapshotReader::getI64() {
+  checkTag(take("i64 tag"), kTagI64);
+  return static_cast<std::int64_t>(take("i64 value"));
+}
+
+double SnapshotReader::getF64() {
+  checkTag(take("f64 tag"), kTagF64);
+  return bitsF64(take("f64 value"));
+}
+
+bool SnapshotReader::getBool() {
+  checkTag(take("bool tag"), kTagBool);
+  return take("bool value") != 0;
+}
+
+std::string SnapshotReader::getStr() {
+  checkTag(take("str tag"), kTagStr);
+  const std::uint64_t len = take("str length");
+  const std::size_t nWords = (len + 7) / 8;
+  std::string s(len, '\0');
+  for (std::size_t i = 0; i < nWords; ++i) {
+    const std::uint64_t w = take("str payload");
+    const std::size_t n = std::min<std::size_t>(8, len - i * 8);
+    std::memcpy(s.data() + i * 8, &w, n);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotSection / SnapshotImage
+
+std::uint64_t SnapshotSection::checksum() const {
+  std::uint64_t h = util::fnv1a64(name);
+  h = util::hashCombine(h, static_cast<std::uint64_t>(version));
+  for (std::uint64_t w : words) h = util::hashCombine(h, w);
+  return h;
+}
+
+void SnapshotImage::addSection(SnapshotSection section) {
+  if (findSection(section.name) != nullptr) {
+    throw SnapshotError("duplicate snapshot section '" + section.name + "'");
+  }
+  sections_.push_back(std::move(section));
+}
+
+const SnapshotSection* SnapshotImage::findSection(
+    const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void appendWord(std::vector<std::uint8_t>& out, std::uint64_t w) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((w >> (8 * i)) & 0xff));
+  }
+}
+
+class WordCursor {
+ public:
+  explicit WordCursor(const std::vector<std::uint8_t>& bytes) : bytes_(&bytes) {
+    if (bytes.size() % 8 != 0) {
+      throw SnapshotError("snapshot image is not word-aligned");
+    }
+  }
+
+  std::uint64_t next(const char* what) {
+    if (pos_ + 8 > bytes_->size()) {
+      throw SnapshotError(std::string("snapshot image truncated reading ") +
+                          what);
+    }
+    std::uint64_t w = 0;
+    for (int i = 0; i < 8; ++i) {
+      w |= static_cast<std::uint64_t>((*bytes_)[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return w;
+  }
+
+  bool done() const { return pos_ == bytes_->size(); }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> SnapshotImage::serialize() const {
+  std::vector<std::uint8_t> out;
+  appendWord(out, kMagic);
+  appendWord(out, kFormatVersion);
+  appendWord(out, f64Bits(simTime));
+  appendWord(out, sections_.size());
+  for (const auto& s : sections_) {
+    appendWord(out, s.name.size());
+    const std::size_t nameWords = (s.name.size() + 7) / 8;
+    for (std::size_t i = 0; i < nameWords; ++i) {
+      std::uint64_t w = 0;
+      const std::size_t n = std::min<std::size_t>(8, s.name.size() - i * 8);
+      std::memcpy(&w, s.name.data() + i * 8, n);
+      appendWord(out, w);
+    }
+    appendWord(out, s.version);
+    appendWord(out, s.words.size());
+    for (std::uint64_t w : s.words) appendWord(out, w);
+    appendWord(out, s.checksum());
+  }
+  appendWord(out, util::fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+SnapshotImage SnapshotImage::parse(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 8) throw SnapshotError("snapshot image too short");
+  // Whole-image checksum covers everything before the trailing word.
+  const std::uint64_t stored = [&] {
+    std::uint64_t w = 0;
+    for (int i = 0; i < 8; ++i) {
+      w |= static_cast<std::uint64_t>(bytes[bytes.size() - 8 + i]) << (8 * i);
+    }
+    return w;
+  }();
+  if (util::fnv1a64(bytes.data(), bytes.size() - 8) != stored) {
+    throw SnapshotError("snapshot image checksum mismatch (corrupt image)");
+  }
+
+  WordCursor cur(bytes);
+  if (cur.next("magic") != kMagic) {
+    throw SnapshotError("snapshot image has wrong magic (not a snapshot?)");
+  }
+  const std::uint64_t fmt = cur.next("format version");
+  if (fmt != kFormatVersion) {
+    throw SnapshotError("unsupported snapshot format version " +
+                        std::to_string(fmt));
+  }
+  SnapshotImage img;
+  img.simTime = bitsF64(cur.next("sim time"));
+  const std::uint64_t nSections = cur.next("section count");
+  for (std::uint64_t i = 0; i < nSections; ++i) {
+    SnapshotSection sec;
+    const std::uint64_t nameLen = cur.next("section name length");
+    const std::size_t nameWords = (nameLen + 7) / 8;
+    sec.name.resize(nameLen);
+    for (std::size_t j = 0; j < nameWords; ++j) {
+      const std::uint64_t w = cur.next("section name");
+      const std::size_t n = std::min<std::size_t>(8, nameLen - j * 8);
+      std::memcpy(sec.name.data() + j * 8, &w, n);
+    }
+    sec.version = static_cast<std::uint32_t>(cur.next("section version"));
+    const std::uint64_t nWords = cur.next("section word count");
+    sec.words.reserve(nWords);
+    for (std::uint64_t j = 0; j < nWords; ++j) {
+      sec.words.push_back(cur.next("section payload"));
+    }
+    const std::uint64_t sum = cur.next("section checksum");
+    if (sec.checksum() != sum) {
+      throw SnapshotError("checksum mismatch in snapshot section '" +
+                          sec.name + "'");
+    }
+    img.addSection(std::move(sec));
+  }
+  cur.next("image checksum");  // already verified above; consume it
+  if (!cur.done()) throw SnapshotError("trailing bytes after snapshot image");
+  return img;
+}
+
+std::uint64_t SnapshotImage::digest() const {
+  const auto bytes = serialize();
+  return util::fnv1a64(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRegistry
+
+void SnapshotRegistry::add(Snapshottable& component) {
+  for (const auto* c : components_) {
+    if (std::string(c->snapshotSection()) == component.snapshotSection()) {
+      throw SnapshotError(std::string("duplicate snapshot component '") +
+                          component.snapshotSection() + "'");
+    }
+  }
+  components_.push_back(&component);
+}
+
+SnapshotImage SnapshotRegistry::capture(double simTime) const {
+  SnapshotImage img;
+  img.simTime = simTime;
+  for (const auto* c : components_) {
+    SnapshotWriter w;
+    c->encodeState(w);
+    SnapshotSection sec;
+    sec.name = c->snapshotSection();
+    sec.version = c->snapshotVersion();
+    sec.words = w.words();
+    img.addSection(std::move(sec));
+  }
+  return img;
+}
+
+void SnapshotRegistry::restore(const SnapshotImage& image) {
+  // Validate every section before mutating anything: restore is all-or-
+  // nothing at the registry level.
+  for (auto* c : components_) {
+    const auto* sec = image.findSection(c->snapshotSection());
+    if (sec == nullptr) {
+      throw SnapshotError(std::string("snapshot image is missing section '") +
+                          c->snapshotSection() + "'");
+    }
+    if (sec->version != c->snapshotVersion()) {
+      throw SnapshotError(std::string("snapshot section '") +
+                          c->snapshotSection() + "' version " +
+                          std::to_string(sec->version) +
+                          " does not match component version " +
+                          std::to_string(c->snapshotVersion()));
+    }
+  }
+  for (auto* c : components_) {
+    const auto* sec = image.findSection(c->snapshotSection());
+    SnapshotReader r(sec->words);
+    c->decodeState(r);
+    if (!r.done()) {
+      throw SnapshotError(std::string("snapshot section '") +
+                          c->snapshotSection() + "' has " +
+                          std::to_string(r.remaining()) +
+                          " unread words after decode");
+    }
+  }
+}
+
+}  // namespace grads::core

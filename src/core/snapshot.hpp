@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace grads::core {
+
+/// Raised on any snapshot encode/decode failure: truncated images, checksum
+/// mismatches, type-tag mismatches, unknown format versions, or a component
+/// whose section is missing from the image being restored.
+class SnapshotError : public Error {
+ public:
+  explicit SnapshotError(const std::string& what) : Error(what) {}
+};
+
+/// Typed append-only field sink. Every field is written as a type-tag word
+/// followed by its payload words, so a reader that drifts out of sync with
+/// the writer fails loudly on the next field instead of silently
+/// reinterpreting bytes. grads-lint rule R6 counts the put*/get* call sites
+/// in paired encodeState/decodeState bodies to catch asymmetric revisions
+/// at review time; the tags catch them at run time.
+class SnapshotWriter {
+ public:
+  void putU64(std::uint64_t v);
+  void putI64(std::int64_t v);
+  void putF64(double v);
+  void putBool(bool v);
+  void putStr(const std::string& s);
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Typed field source over one section's words. Each get* verifies the type
+/// tag written by the matching put* and throws SnapshotError on mismatch or
+/// exhaustion. `done()` lets decoders assert they consumed the whole
+/// section (catching an encoder that grew a field the decoder ignores).
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::vector<std::uint64_t>& words)
+      : words_(&words) {}
+
+  std::uint64_t getU64();
+  std::int64_t getI64();
+  double getF64();
+  bool getBool();
+  std::string getStr();
+
+  bool done() const { return pos_ == words_->size(); }
+  std::size_t remaining() const { return words_->size() - pos_; }
+
+ private:
+  std::uint64_t take(const char* what);
+
+  const std::vector<std::uint64_t>* words_;
+  std::size_t pos_ = 0;
+};
+
+/// Interface a component implements to participate in whole-simulation
+/// snapshots. encodeState/decodeState must write/read the *same field
+/// sequence*; snapshotVersion() is stored per section and verified on
+/// restore so stale images fail with a versioned error instead of a tag
+/// mismatch deep inside decode.
+///
+/// Contract: decodeState fully overwrites the component's logical state but
+/// must NOT schedule engine events — restore happens at a quiescent boundary
+/// and daemons are re-armed explicitly afterwards (see DESIGN.md §8).
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+  virtual const char* snapshotSection() const = 0;
+  virtual std::uint32_t snapshotVersion() const { return 1; }
+  virtual void encodeState(SnapshotWriter& w) const = 0;
+  virtual void decodeState(SnapshotReader& r) = 0;
+};
+
+/// One named, versioned, checksummed section of a snapshot image.
+struct SnapshotSection {
+  std::string name;
+  std::uint32_t version = 1;
+  std::vector<std::uint64_t> words;
+
+  /// FNV-1a over name, version, and payload words.
+  std::uint64_t checksum() const;
+};
+
+/// A whole-simulation snapshot: the simulation clock plus every registered
+/// component's section. serialize()/parse() round-trip through a flat byte
+/// buffer with per-section checksums and a whole-image checksum, so a
+/// corrupt or truncated image is rejected before any component decodes.
+class SnapshotImage {
+ public:
+  static constexpr std::uint64_t kMagic = 0x31504e5344524722ULL;  // "\"GRDSNP1"
+  static constexpr std::uint64_t kFormatVersion = 1;
+
+  double simTime = 0.0;
+
+  void addSection(SnapshotSection section);
+  const SnapshotSection* findSection(const std::string& name) const;
+  const std::vector<SnapshotSection>& sections() const { return sections_; }
+
+  std::vector<std::uint8_t> serialize() const;
+  static SnapshotImage parse(const std::vector<std::uint8_t>& bytes);
+
+  /// FNV-1a over the serialized bytes — the image's identity. The crash
+  /// sweep caches its uncrashed reference arm per image digest.
+  std::uint64_t digest() const;
+
+ private:
+  std::vector<SnapshotSection> sections_;
+};
+
+/// Ordered set of components that make up one snapshot domain. Registration
+/// order is capture order; restore decodes every registered component from
+/// its named section (missing section, version skew, or leftover words are
+/// all errors — partial restores are forbidden).
+class SnapshotRegistry {
+ public:
+  void add(Snapshottable& component);
+
+  SnapshotImage capture(double simTime) const;
+  void restore(const SnapshotImage& image);
+
+  std::size_t size() const { return components_.size(); }
+
+ private:
+  std::vector<Snapshottable*> components_;
+};
+
+}  // namespace grads::core

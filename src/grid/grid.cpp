@@ -207,4 +207,30 @@ double Grid::transferEstimateNow(NodeId src, NodeId dst, double bytes) const {
   return r.latencySec + bytes / bw;
 }
 
+void Grid::encodeState(core::SnapshotWriter& w) const {
+  w.putU64(nodes_.size());
+  w.putU64(links_.size());
+  w.putU64(clusters_.size());
+  for (const auto& link : links_) {
+    w.putBool(link->isUp());
+    w.putF64(link->bandwidthScale());
+  }
+}
+
+void Grid::decodeState(core::SnapshotReader& r) {
+  const std::uint64_t nNodes = r.getU64();
+  const std::uint64_t nLinks = r.getU64();
+  const std::uint64_t nClusters = r.getU64();
+  if (nNodes != nodes_.size() || nLinks != links_.size() ||
+      nClusters != clusters_.size()) {
+    throw core::SnapshotError(
+        "grid.fabric: snapshot topology does not match the rebuilt grid "
+        "(was the testbed builder changed?)");
+  }
+  for (const auto& link : links_) {
+    link->setUp(r.getBool());
+    link->setBandwidthScale(r.getF64());
+  }
+}
+
 }  // namespace grads::grid

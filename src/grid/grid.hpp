@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "grid/node.hpp"
 #include "sim/engine.hpp"
 #include "sim/ps_resource.hpp"
@@ -87,11 +88,22 @@ struct Route {
 /// WAN links, with BFS routing across the cluster graph. This plays the role
 /// of the paper's MacroGrid testbed (and, wrapped by grads::microgrid, of the
 /// MicroGrid's virtual resource infrastructure).
-class Grid {
+class Grid : public core::Snapshottable {
  public:
   explicit Grid(sim::Engine& engine);
   Grid(const Grid&) = delete;
   Grid& operator=(const Grid&) = delete;
+
+  /// Snapshot participation. Topology (clusters, nodes, links, specs) is
+  /// *configuration*, rebuilt by re-running the scenario's testbed builder;
+  /// the snapshot carries only mutable fabric state (link up/scale) plus
+  /// the topology counts, which decode validates against the rebuilt grid.
+  /// Background CPU load is deliberately excluded: PsResource job lists are
+  /// coroutine-held and are re-armed from their LoadTrace (see
+  /// applyLoadTraceFrom) at restore.
+  const char* snapshotSection() const override { return "grid.fabric"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
 
   sim::Engine& engine() const { return *engine_; }
 

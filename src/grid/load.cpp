@@ -55,19 +55,44 @@ LoadTrace LoadTrace::randomOnOff(Rng& rng, double meanOffSec, double meanOnSec,
   return LoadTrace(std::move(phases));
 }
 
+namespace {
+
+using CurrentLoad = std::shared_ptr<std::optional<sim::PsResource::LoadId>>;
+
+void armPhase(sim::Engine& engine, Node& node, const CurrentLoad& current,
+              sim::Time at, double weight) {
+  // Daemon events: background load must not keep the simulation alive
+  // after the foreground work completes.
+  engine.scheduleDaemonAt(at, [&node, current, weight] {
+    if (current->has_value()) {
+      node.removeLoad(current->value());
+      current->reset();
+    }
+    if (weight > 0.0) *current = node.injectLoad(weight);
+  });
+}
+
+}  // namespace
+
 void applyLoadTrace(sim::Engine& engine, Node& node, const LoadTrace& trace) {
   // Shared slot holding the currently injected load id (if any).
   auto current = std::make_shared<std::optional<sim::PsResource::LoadId>>();
   for (const auto& phase : trace.phases()) {
-    // Daemon events: background load must not keep the simulation alive
-    // after the foreground work completes.
-    engine.scheduleDaemonAt(phase.start, [&node, current, weight = phase.weight] {
-      if (current->has_value()) {
-        node.removeLoad(current->value());
-        current->reset();
-      }
-      if (weight > 0.0) *current = node.injectLoad(weight);
-    });
+    armPhase(engine, node, current, phase.start, phase.weight);
+  }
+}
+
+void applyLoadTraceFrom(sim::Engine& engine, Node& node, const LoadTrace& trace,
+                        sim::Time fromTime) {
+  auto current = std::make_shared<std::optional<sim::PsResource::LoadId>>();
+  // The phase active at fromTime is injected directly — the snapshot never
+  // serializes PsResource job lists, so the restored node starts bare.
+  const double now = trace.weightAt(fromTime);
+  if (now > 0.0) *current = node.injectLoad(now);
+  for (const auto& phase : trace.phases()) {
+    if (phase.start > fromTime) {
+      armPhase(engine, node, current, phase.start, phase.weight);
+    }
   }
 }
 

@@ -45,4 +45,12 @@ class LoadTrace {
 /// Must be called before the engine reaches the first phase boundary.
 void applyLoadTrace(sim::Engine& engine, Node& node, const LoadTrace& trace);
 
+/// Restore-time variant: re-arms a trace on a freshly rebuilt node from an
+/// arbitrary point in simulated time. Injects the trace's weight as of
+/// `fromTime` immediately (the phase that was active when the snapshot was
+/// taken) and schedules only the phase boundaries strictly after `fromTime`.
+/// applyLoadTrace(e, n, t) ≡ applyLoadTraceFrom(e, n, t, before first phase).
+void applyLoadTraceFrom(sim::Engine& engine, Node& node, const LoadTrace& trace,
+                        sim::Time fromTime);
+
 }  // namespace grads::grid

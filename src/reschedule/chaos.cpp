@@ -64,6 +64,45 @@ void ChaosDriver::armAll(const std::vector<ChaosEvent>& events) {
   for (const auto& e : events) arm(e);
 }
 
+void ChaosDriver::armFrom(const std::vector<ChaosEvent>& events, double t0) {
+  GRADS_REQUIRE(engine_->now() >= t0,
+                "ChaosDriver::armFrom: engine clock behind the snapshot time");
+  for (const auto& e : events) {
+    if (e.atSec >= t0) {
+      arm(e);
+      continue;
+    }
+    const bool inFlight = e.durationSec > 0.0 && e.atSec + e.durationSec > t0;
+    if (e.kind == ChaosKind::kNodeFailure && e.atSec < t0) {
+      // The failure fired pre-snapshot; its stale-GIS and heartbeat tails
+      // may still be due (rearmFailureTail skips any at or before now).
+      failures_->rearmFailureTail(e.node, e.atSec + e.detectionDelaySec,
+                                  e.gisLagSec > 0.0 ? e.atSec + e.gisLagSec
+                                                    : 0.0);
+    }
+    if (!inFlight) continue;  // fully over by t0: state is in the image
+    // In-flight window: rebuild the depth the pre-crash apply() created
+    // (the decoded component state already holds the effect) and re-arm
+    // just the recovery.
+    switch (e.kind) {
+      case ChaosKind::kLinkPartition:
+        ++linkDownDepth_[e.link];
+        break;
+      case ChaosKind::kNwsOutage:
+        ++nwsDarkDepth_;
+        break;
+      case ChaosKind::kDepotOutage:
+        ++depotDownDepth_[e.node];
+        break;
+      default:
+        break;  // node failure / degrade revert unconditionally
+    }
+    engine_->scheduleDaemonAt(e.atSec + e.durationSec,
+                              [this, e] { revert(e); });
+    ++armed_;
+  }
+}
+
 void ChaosDriver::apply(const ChaosEvent& event) {
   switch (event.kind) {
     case ChaosKind::kNodeFailure:

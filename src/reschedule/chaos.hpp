@@ -119,6 +119,26 @@ class ChaosDriver {
   /// Arms a whole schedule.
   void armAll(const std::vector<ChaosEvent>& events);
 
+  /// Restore-path arming: re-arms a campaign against a simulation restored
+  /// from a snapshot taken at `t0`. The chaos driver's own daemons are not
+  /// serialized (snapshots capture component *state*, never event-queue
+  /// callbacks — see DESIGN.md on snapshot/restore invariants), so the
+  /// harness re-derives them from the original schedule:
+  ///   - events with atSec >= t0 are armed normally;
+  ///   - events already over by t0 are skipped outright — their effects
+  ///     (and recoveries, and any permanent corruption) live in the decoded
+  ///     component state;
+  ///   - events in flight at t0 (atSec < t0 < atSec + durationSec) re-arm
+  ///     only their *pending* daemons: the recovery, plus — for node
+  ///     failures — any stale-GIS / heartbeat-detection tail still due. The
+  ///     injection itself is NOT re-applied (the decoded GIS/link/depot/NWS
+  ///     state already reflects it), but the nesting depth bookkeeping is
+  ///     rebuilt so overlapping windows heal in the right order.
+  /// Counters are not rebuilt: both a restored run and its uncrashed
+  /// reference start from the same decoded state, so post-restore tallies
+  /// compare like for like.
+  void armFrom(const std::vector<ChaosEvent>& events, double t0);
+
   const ChaosCounters& counters() const { return counters_; }
   std::size_t armed() const { return armed_; }
 

@@ -28,6 +28,21 @@ void FailureInjector::failNow(grid::NodeId node, sim::Time detectionDelaySec,
   });
 }
 
+void FailureInjector::rearmFailureTail(grid::NodeId node, sim::Time detectAt,
+                                       sim::Time gisDownAt) {
+  if (gisDownAt > engine_->now()) {
+    engine_->scheduleDaemonAt(gisDownAt, [this, node] {
+      if (!gis_->isNodeReachable(node)) gis_->setNodeUp(node, false);
+    });
+  }
+  if (detectAt > engine_->now()) {
+    engine_->scheduleDaemonAt(detectAt, [this, node] {
+      if (gis_->isNodeReachable(node)) return;  // recovered before detection
+      for (Rss* rss : watched_) rss->markFailure(node);
+    });
+  }
+}
+
 void FailureInjector::recoverNow(grid::NodeId node) {
   // No-op unless the node actually failed: a node that is merely marked
   // down in the directory (reserved by a manager, or administratively

@@ -55,6 +55,15 @@ class FailureInjector {
                sim::Time gisLagSec);
   void recoverNow(grid::NodeId node);
 
+  /// Restore-path re-arm: a node fail-stopped *before* a snapshot whose
+  /// stale-GIS timeout and/or heartbeat detection had not yet fired at
+  /// snapshot time. The failure itself is already in the decoded GIS state;
+  /// this schedules only the pending tail daemons, at their original
+  /// absolute times (times at or before now are skipped — they fired before
+  /// the snapshot and their effects are in the image).
+  void rearmFailureTail(grid::NodeId node, sim::Time detectAt,
+                        sim::Time gisDownAt);
+
   std::size_t failuresInjected() const { return failures_; }
 
  private:

@@ -51,10 +51,20 @@ const char* governorVerdictName(GovernorVerdict verdict);
 /// full checkpoint-restore cost each way. The governor suppresses exactly
 /// those triggers (quorum, hysteresis, cooldown, concurrency) while letting
 /// sustained genuine degradation through.
-class ViolationGovernor {
+class ViolationGovernor : public core::Snapshottable {
  public:
   ViolationGovernor(sim::Engine& engine, ActionJournal& journal,
                     GovernorOptions options);
+
+  /// Snapshot participation: quorum histories and suppression statistics
+  /// round-trip, so a restored governor keeps holding position (cooldown
+  /// anchors live in the journal, which snapshots alongside). Options are
+  /// configuration — re-supplied at construction, not serialized.
+  const char* snapshotSection() const override {
+    return "reschedule.governor";
+  }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
 
   /// Gate for one confirmed contract violation. kAdmit means the report may
   /// reach the rescheduler; anything else means suppress (and the contract

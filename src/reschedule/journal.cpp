@@ -1,5 +1,7 @@
 #include "reschedule/journal.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -45,7 +47,9 @@ int ActionJournal::open(const std::string& app, ActionKind kind,
   GRADS_INFO("journal") << log::appAt(app, engine_->now()) << "action #"
                         << records_.back().id << " ("
                         << actionKindName(kind) << ") prepared";
-  return records_.back().id;
+  const int id = records_.back().id;
+  if (onTransition_) onTransition_(records_.back());
+  return id;
 }
 
 ActionRecord& ActionJournal::mutableRecord(int id) {
@@ -71,6 +75,7 @@ void ActionJournal::beginCommit(int id) {
   r.state = ActionState::kCommitting;
   GRADS_INFO("journal") << log::appAt(r.app, engine_->now()) << "action #"
                         << r.id << " committing";
+  if (onTransition_) onTransition_(r);
 }
 
 void ActionJournal::resolve(ActionRecord& r, ActionState state,
@@ -93,6 +98,7 @@ void ActionJournal::resolve(ActionRecord& r, ActionState state,
                         << r.id << " " << actionStateName(state)
                         << (note.empty() ? "" : " (" + note + ")");
   if (onResolve_) onResolve_(r);
+  if (onTransition_) onTransition_(r);
 }
 
 void ActionJournal::commit(int id, const std::string& note) {
@@ -128,6 +134,89 @@ int ActionJournal::rolledBackFor(const std::string& app) const {
     if (r.app == app && r.state == ActionState::kRolledBack) ++n;
   }
   return n;
+}
+
+int ActionJournal::recover(const std::string& note) {
+  // Collect first, then resolve: resolve() mutates openByApp_, and walking
+  // records_ by state directly would re-resolve records a concurrent
+  // observer already closed. Only unresolved records qualify — this is what
+  // makes a second scan a structural no-op rather than a double rollback.
+  std::vector<int> unresolved;
+  for (const auto& r : records_) {
+    if (r.state == ActionState::kPrepared ||
+        r.state == ActionState::kCommitting) {
+      unresolved.push_back(r.id);
+    }
+  }
+  for (const int id : unresolved) rollback(id, note);
+  if (!unresolved.empty()) {
+    ++recoveries_;
+    GRADS_WARN("journal") << "recovery scan rolled back " << unresolved.size()
+                          << " in-flight action(s) at t=" << engine_->now();
+  }
+  return static_cast<int>(unresolved.size());
+}
+
+void ActionJournal::encodeState(core::SnapshotWriter& w) const {
+  w.putU64(records_.size());
+  for (const auto& rec : records_) {
+    w.putStr(rec.app);
+    w.putU64(static_cast<std::uint64_t>(rec.kind));
+    w.putU64(static_cast<std::uint64_t>(rec.state));
+    w.putF64(rec.openedAt);
+    w.putF64(rec.resolvedAt);
+    w.putU64(rec.prior.size());
+    for (const grid::NodeId id : rec.prior) w.putU64(id);
+    w.putU64(rec.target.size());
+    for (const grid::NodeId id : rec.target) w.putU64(id);
+    w.putStr(rec.note);
+  }
+  w.putI64(recoveries_);
+}
+
+void ActionJournal::decodeState(core::SnapshotReader& r) {
+  records_.clear();
+  openByApp_.clear();
+  lastResolved_.clear();
+  inFlight_ = 0;
+  committed_ = 0;
+  rolledBack_ = 0;
+  const std::uint64_t nRecords = r.getU64();
+  for (std::uint64_t i = 0; i < nRecords; ++i) {
+    ActionRecord rec;
+    rec.id = static_cast<int>(i) + 1;
+    rec.app = r.getStr();
+    rec.kind = static_cast<ActionKind>(r.getU64());
+    rec.state = static_cast<ActionState>(r.getU64());
+    rec.openedAt = r.getF64();
+    rec.resolvedAt = r.getF64();
+    const std::uint64_t nPrior = r.getU64();
+    for (std::uint64_t j = 0; j < nPrior; ++j) {
+      rec.prior.push_back(static_cast<grid::NodeId>(r.getU64()));
+    }
+    const std::uint64_t nTarget = r.getU64();
+    for (std::uint64_t j = 0; j < nTarget; ++j) {
+      rec.target.push_back(static_cast<grid::NodeId>(r.getU64()));
+    }
+    rec.note = r.getStr();
+    // Rebuild the derived indexes from the log itself.
+    if (rec.state == ActionState::kPrepared ||
+        rec.state == ActionState::kCommitting) {
+      openByApp_[rec.app] = rec.id;
+      ++inFlight_;
+    } else {
+      auto& anchor = lastResolved_[rec.app];
+      anchor = std::max(anchor, rec.resolvedAt);
+      if (rec.state == ActionState::kCommitted) {
+        ++committed_;
+      } else {
+        ++rolledBack_;
+      }
+    }
+    records_.push_back(std::move(rec));
+  }
+  opened_ = static_cast<int>(records_.size());
+  recoveries_ = static_cast<int>(r.getI64());
 }
 
 }  // namespace grads::reschedule

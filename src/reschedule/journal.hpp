@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "grid/grid.hpp"
 #include "sim/engine.hpp"
 
@@ -57,9 +58,28 @@ struct ActionRecord {
 /// so a rolled-back migration and a committing one can never both point at
 /// live application state — the "doubly mapped" failure mode is structurally
 /// excluded.
-class ActionJournal {
+class ActionJournal : public core::Snapshottable {
  public:
   explicit ActionJournal(sim::Engine& engine);
+
+  /// Snapshot participation: the full record log round-trips; the derived
+  /// indexes (open-action map, in-flight count, counters, cooldown anchors)
+  /// are rebuilt from it on decode, so the image cannot carry an index that
+  /// disagrees with its own log.
+  const char* snapshotSection() const override { return "reschedule.journal"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
+
+  /// Crash-recovery scan (presumed abort): every unresolved action — still
+  /// kPrepared, or caught mid-kCommitting by the crash — is resolved as
+  /// kRolledBack with `note`; the application relaunches from its journaled
+  /// checkpoints on whatever mapping the fresh selection picks. Returns the
+  /// number of actions resolved. Idempotent: a second scan over an
+  /// already-recovered journal finds nothing unresolved and is a no-op (it
+  /// must never double-resolve — resolve() rejects resolved records).
+  int recover(const std::string& note);
+  /// Recovery scans that actually resolved at least one action.
+  int recoveries() const { return recoveries_; }
 
   /// Opens a record in kPrepared. Throws if the app already has one open.
   int open(const std::string& app, ActionKind kind,
@@ -104,6 +124,14 @@ class ActionJournal {
     onResolve_ = std::move(fn);
   }
 
+  /// Called on *every* state transition (open, beginCommit, commit,
+  /// rollback) with the record as it stands after the transition. The
+  /// crash-point sweep uses this to kill the control plane at each journal
+  /// transition; unlike setOnResolve it also sees opens and commit-begins.
+  void setOnTransition(std::function<void(const ActionRecord&)> fn) {
+    onTransition_ = std::move(fn);
+  }
+
  private:
   ActionRecord& mutableRecord(int id);
   void resolve(ActionRecord& r, ActionState state, const std::string& note);
@@ -116,7 +144,9 @@ class ActionJournal {
   int opened_ = 0;
   int committed_ = 0;
   int rolledBack_ = 0;
+  int recoveries_ = 0;
   std::function<void(const ActionRecord&)> onResolve_;
+  std::function<void(const ActionRecord&)> onTransition_;
 };
 
 }  // namespace grads::reschedule

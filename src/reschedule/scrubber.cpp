@@ -119,12 +119,18 @@ DepotScrubber::DepotScrubber(sim::Engine& engine, services::Ibp& ibp,
 
 DepotScrubber::~DepotScrubber() { stop(); }
 
-void DepotScrubber::start(double periodSec) {
+bool DepotScrubber::start(double periodSec) {
   GRADS_REQUIRE(periodSec > 0.0, "DepotScrubber::start: period must be > 0");
+  if (state_->running) return false;  // arm-once: one tick chain, ever
   state_->periodSec = periodSec;
   state_->running = true;
   armTick(state_);
+  return true;
 }
+
+bool DepotScrubber::started() const { return state_->running; }
+
+void DepotScrubber::adoptStats(const Stats& stats) { state_->stats = stats; }
 
 void DepotScrubber::stop() {
   state_->running = false;

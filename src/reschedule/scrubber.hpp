@@ -42,10 +42,20 @@ class DepotScrubber {
   DepotScrubber(const DepotScrubber&) = delete;
   DepotScrubber& operator=(const DepotScrubber&) = delete;
 
-  /// Starts periodic scanning every `periodSec` simulated seconds.
-  void start(double periodSec);
+  /// Starts periodic scanning every `periodSec` simulated seconds. Arm-once
+  /// guarded: calling start() on an already-running scrubber is a no-op that
+  /// returns false (a second call would otherwise arm a *second* tick chain
+  /// — the double-daemon bug the crash-restore protocol must not hit).
+  bool start(double periodSec);
+  /// True between start() and stop() — the tick chain is armed.
+  bool started() const;
   /// Cancels the periodic tick (an in-flight scan finishes on its own).
   void stop();
+
+  /// Carries scrub statistics across a control-plane restart: the resumed
+  /// application's fresh scrubber adopts the pre-crash totals decoded from
+  /// the snapshot so RunBreakdown keeps reporting cumulative repairs.
+  void adoptStats(const Stats& stats);
 
   /// One full manifest walk + repairs; also usable directly (tests, or a
   /// final scrub before an important restore).

@@ -136,6 +136,15 @@ class Rss {
   /// Zombie activity dropped so far (stage + publish attempts).
   std::size_t staleEpochRejects() const { return staleEpochRejects_; }
 
+  /// Snapshot participation (embedded in the AppManager's per-app section,
+  /// not a registry component of its own): the whole cross-incarnation
+  /// ledger — incarnation counter, per-generation checkpoint records and
+  /// manifests, stop/failure flags, occupancy, reject counters — round-
+  /// trips. A restored manager relaunches the app from exactly this ledger;
+  /// the incarnation bump at relaunch is what fences pre-crash zombies out.
+  void encodeState(core::SnapshotWriter& w) const;
+  void decodeState(core::SnapshotReader& r);
+
  private:
   sim::Engine* engine_;
   std::string app_;

@@ -23,9 +23,16 @@ inline constexpr const char* kCompiler = "cc";
 /// exist, what software is installed where, and per-node attributes. The
 /// distributed binder queries it to locate the local binder code and the
 /// application-specific libraries on every scheduled node (paper §2).
-class Gis {
+class Gis : public core::Snapshottable {
  public:
   explicit Gis(const grid::Grid& grid);
+
+  /// Snapshot participation: the full directory (software catalogue,
+  /// reported up/down set, ground-truth reachability) is logical state and
+  /// round-trips exactly.
+  const char* snapshotSection() const override { return "services.gis"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
 
   /// Registers a software package as installed on a node, at a path.
   void installSoftware(grid::NodeId node, const std::string& package,

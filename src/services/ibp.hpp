@@ -58,11 +58,22 @@ struct PutOptions {
 /// the observed digest against an out-of-band manifest. Integrity faults
 /// (bit flips, torn writes, stale deliveries) perturb the observed digest
 /// and/or size so an unverified read silently returns wrong content.
-class Ibp {
+class Ibp : public core::Snapshottable {
  public:
   explicit Ibp(grid::Grid& grid);
   Ibp(const Ibp&) = delete;
   Ibp& operator=(const Ibp&) = delete;
+
+  /// Snapshot participation: the full depot catalogue (objects with their
+  /// observed sizes/digests/torn flags), depot outage set, epoch fences,
+  /// and the stale-write-reject counter round-trip exactly — checkpoint
+  /// manifests decoded by the SRS ledger stay consistent with the depot
+  /// contents they describe. Disk PsResources are transient (lazily
+  /// recreated) and in-flight transfers belong to coroutine frames, which
+  /// restart from checkpoints instead of being serialized.
+  const char* snapshotSection() const override { return "services.ibp"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
 
   /// Stores `bytes` under `key` in the depot co-located with `atNode`,
   /// written by a process running on `fromNode` (kNoId = atNode): a remote

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "grid/grid.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
@@ -17,12 +18,19 @@ namespace grads::services {
 /// Weather Service [Wolski et al.] runs a battery of simple predictors and
 /// dynamically selects whichever has the lowest error so far; we reproduce
 /// that design.
+///
+/// encodeState/decodeState persist the predictor's *fitted* state (windows,
+/// sufficient statistics) so a restored NWS forecasts exactly what the
+/// pre-crash one would have; construction parameters (window sizes, alpha)
+/// are configuration and are re-supplied by the battery constructor.
 class Forecaster {
  public:
   virtual ~Forecaster() = default;
   virtual void update(double value) = 0;
   virtual double forecast() const = 0;
   virtual const char* name() const = 0;
+  virtual void encodeState(core::SnapshotWriter& w) const = 0;
+  virtual void decodeState(core::SnapshotReader& r) = 0;
 };
 
 std::unique_ptr<Forecaster> makeLastValue();
@@ -49,6 +57,12 @@ class ForecasterBattery {
   std::size_t measurements() const { return count_; }
   double lastValue() const { return last_; }
 
+  /// Persists measurement count, last value, and every forecaster's fitted
+  /// state + error score. decode requires the battery shape (entry count)
+  /// to match — the battery roster is configuration, not state.
+  void encodeState(core::SnapshotWriter& w) const;
+  void decodeState(core::SnapshotReader& r);
+
  private:
   struct Entry {
     std::unique_ptr<Forecaster> forecaster;
@@ -65,10 +79,20 @@ class ForecasterBattery {
 /// The Network Weather Service: periodically senses node CPU availability
 /// and link bandwidth/latency (ground truth + measurement noise) and serves
 /// forecasts to schedulers and the rescheduler (paper §3.1, §4.1.1).
-class Nws {
+class Nws : public core::Snapshottable {
  public:
   Nws(sim::Engine& engine, grid::Grid& grid, double periodSec = 10.0,
       double relativeNoise = 0.03, std::uint64_t seed = 1234);
+
+  /// Snapshot participation: measurement history, every forecaster's fitted
+  /// state, the sensing Rng's stream position, and the dark/stale clocks
+  /// all round-trip. The sampling daemon itself is NOT serialized — decode
+  /// always leaves the service stopped, and the restore protocol re-arms it
+  /// with one explicit start() (which is idempotent, so the sampler can
+  /// never be armed twice).
+  const char* snapshotSection() const override { return "services.nws"; }
+  void encodeState(core::SnapshotWriter& w) const override;
+  void decodeState(core::SnapshotReader& r) override;
 
   /// Begins periodic monitoring of every node and link in the grid.
   void start();

@@ -101,4 +101,18 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng(next()); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.haveSpare = haveSpare_;
+  st.spare = spare_;
+  return st;
+}
+
+void Rng::setState(const RngState& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  haveSpare_ = st.haveSpare;
+  spare_ = st.spare;
+}
+
 }  // namespace grads

@@ -318,6 +318,79 @@ TEST(SrsIntegrity, ZombieIncarnationCannotOverwriteOrPublish) {
   EXPECT_GT(f.rss.staleEpochRejects(), 0u);
 }
 
+TEST(SrsIntegrity, ZombieEpochFencedAcrossCrashRestart) {
+  // The fence must survive a control-plane crash-restart: a zombie writer
+  // carrying a pre-crash incarnation epoch, staging or publishing *after*
+  // the restore, is dropped by the restored ledger and depot exactly as it
+  // would have been by the originals.
+  CkptFixture f;
+  f.writeGeneration();  // generation 1, live epoch 1
+  f.rss.beginIncarnation(2);  // incarnation 2 takes over pre-crash
+  f.ibp->setFence("qr", f.rss.incarnation());
+  vmpi::World w2(f.g, {f.tb.uiucNodes[0], f.tb.uiucNodes[1]});
+  Srs live(*f.ibp, f.rss, w2);
+  live.setStableDepot(f.tb.uiucNodes[7]);
+  live.setReplicaDepot(f.tb.uiucNodes[6]);
+  live.registerArray("A", CkptFixture::kTotal);
+  for (int r = 0; r < 2; ++r) {
+    f.eng.spawn([](Srs& s, int rank) -> sim::Task {
+      co_await s.writeCheckpoint(rank);
+    }(live, r));
+  }
+  f.eng.run();
+  f.rss.storeIteration(20);
+  ASSERT_TRUE(f.rss.manifestComplete(2));
+
+  // Snapshot the depot and ledger at a quiescent boundary, then "crash":
+  // everything below runs against a freshly built control plane.
+  core::SnapshotRegistry reg;
+  reg.add(*f.ibp);
+  const core::SnapshotImage img = reg.capture(f.eng.now());
+  core::SnapshotWriter rssWords;
+  f.rss.encodeState(rssWords);
+
+  CkptFixture fresh;
+  core::SnapshotRegistry reg2;
+  reg2.add(*fresh.ibp);
+  reg2.restore(img);
+  core::SnapshotReader rd(rssWords.words());
+  fresh.rss.decodeState(rd);
+  ASSERT_TRUE(rd.done());
+  ASSERT_EQ(fresh.ibp->fenceEpoch("qr"), 2);  // the fence round-tripped
+  ASSERT_EQ(fresh.rss.incarnation(), 2);
+  ASSERT_EQ(fresh.rss.storedIteration(), 20u);
+  const auto gen2Digest = fresh.rss.manifestDigest(2);
+  const auto objects = fresh.ibp->objectCount();
+
+  // The zombie: a writer of the pre-crash incarnation (epoch 2), surviving
+  // into the restored world where the relaunch starts incarnation 3.
+  vmpi::World wZombie(fresh.g, {fresh.tb.uiucNodes[0], fresh.tb.uiucNodes[1]});
+  Srs zombie(*fresh.ibp, fresh.rss, wZombie);
+  zombie.setStableDepot(fresh.tb.uiucNodes[7]);
+  zombie.setReplicaDepot(fresh.tb.uiucNodes[6]);
+  zombie.registerArray("A", CkptFixture::kTotal);
+  ASSERT_EQ(zombie.epoch(), 2);
+
+  fresh.rss.beginIncarnation(2);  // incarnation 3: the post-restore relaunch
+  fresh.ibp->setFence("qr", fresh.rss.incarnation());
+  ASSERT_EQ(fresh.rss.incarnation(), 3);
+
+  // Pre-crash zombie stage + publish after restore: all dropped.
+  for (int r = 0; r < 2; ++r) {
+    fresh.eng.spawn([](Srs& s, int rank) -> sim::Task {
+      co_await s.writeCheckpoint(rank);
+    }(zombie, r));
+  }
+  fresh.eng.run();
+  zombie.storeIteration(5);
+  EXPECT_GT(zombie.staleWriteRejects(), 0);
+  EXPECT_GT(fresh.ibp->staleEpochRejects(), 0u);
+  EXPECT_GT(fresh.rss.staleEpochRejects(), 0u);
+  EXPECT_EQ(fresh.ibp->objectCount(), objects);
+  EXPECT_EQ(fresh.rss.storedIteration(), 20u);
+  EXPECT_EQ(fresh.rss.manifestDigest(2), gen2Digest);
+}
+
 // --- Depot scrubber. ------------------------------------------------------
 
 TEST(Scrubber, RepairsCorruptCopyFromSurvivor) {

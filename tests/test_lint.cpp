@@ -1,4 +1,4 @@
-// Unit fixtures for grads-lint (rules R1–R5, suppressions, lexer traps) and
+// Unit fixtures for grads-lint (rules R1–R6, suppressions, lexer traps) and
 // digest-stability checks for the replay-divergence oracle's primitives.
 //
 // Every rule gets: a positive fixture (must flag), a negative fixture (must
@@ -328,6 +328,92 @@ TEST(LintR5, LeadingCommentBeforePragmaIsFine) {
   const auto r = lintOne("src/core/foo.hpp",
                          "// License header comment.\n#pragma once\n");
   EXPECT_EQ(countRule(r, "R5"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R6 — snapshot encode/decode field symmetry.
+// ---------------------------------------------------------------------------
+
+TEST(LintR6, FlagsAsymmetricEncodeDecode) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void Foo::encodeState(core::SnapshotWriter& w) const {
+      w.putU64(a_);
+      w.putF64(b_);
+      w.putStr(name_);
+    }
+    void Foo::decodeState(core::SnapshotReader& r) {
+      a_ = r.getU64();
+      b_ = r.getF64();
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 1);
+}
+
+TEST(LintR6, SilentOnSymmetricPairsAndDelegation) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void Foo::encodeState(core::SnapshotWriter& w) const {
+      w.putU64(items_.size());
+      for (const auto& it : items_) w.putF64(it);
+      inner_.encodeState(w);  // delegation: counted where it is defined
+    }
+    void Foo::decodeState(core::SnapshotReader& r) {
+      const auto n = r.getU64();
+      items_.clear();
+      for (std::uint64_t i = 0; i < n; ++i) items_.push_back(r.getF64());
+      inner_.decodeState(r);
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 0);
+}
+
+TEST(LintR6, AttributesInClassDefinitionsToTheRightType) {
+  // Two inline definitions in one file (the nws.cpp forecaster shape): the
+  // symmetric class must not mask or borrow from the asymmetric one.
+  const auto r = lintOne("src/services/foo.cpp", R"cpp(
+    class Good : public core::Snapshottable {
+      void encodeState(core::SnapshotWriter& w) const override {
+        w.putF64(x_);
+      }
+      void decodeState(core::SnapshotReader& r) override { x_ = r.getF64(); }
+    };
+    struct Bad : core::Snapshottable {
+      void encodeState(core::SnapshotWriter& w) const override {
+        w.putF64(x_);
+        w.putBool(flag_);
+      }
+      void decodeState(core::SnapshotReader& r) override { x_ = r.getF64(); }
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 1);
+}
+
+TEST(LintR6, DeclarationsAndSplitDefinitionsAreSilent) {
+  // A header declares both; only one side is defined in this file. Per-file
+  // analysis cannot compare across files, so no finding.
+  const auto r = lintOne("src/core/foo.hpp", R"cpp(#pragma once
+    class Foo : public core::Snapshottable {
+      void encodeState(core::SnapshotWriter& w) const override;
+      void decodeState(core::SnapshotReader& r) override;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 0);
+  const auto half = lintOne("src/core/foo.cpp", R"cpp(
+    void Foo::encodeState(core::SnapshotWriter& w) const { w.putU64(a_); }
+  )cpp");
+  EXPECT_EQ(countRule(half, "R6"), 0);
+}
+
+TEST(LintR6, Suppressed) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    void Foo::encodeState(core::SnapshotWriter& w) const { w.putU64(a_); }
+    // grads-lint: allow(R6 decode intentionally versioned, reads one field)
+    void Foo::decodeState(core::SnapshotReader& r) {
+      a_ = r.getU64();
+      b_ = r.getU64();
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6", /*suppressed=*/false), 0);
+  EXPECT_EQ(countRule(r, "R6", /*suppressed=*/true), 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -640,6 +640,46 @@ TEST(Journal, MigrationTargetDeathRollsBackToPriorMapping) {
   EXPECT_EQ(out.bd.mappings[1], rb->prior);  // resumed on the old nodes
 }
 
+TEST(Journal, RecoveryScanIsIdempotent) {
+  // Crash-restart can run the recovery scan more than once (e.g. a restore
+  // that itself crashes and is restored again). The second scan must be a
+  // pure no-op: nothing re-resolved, no counter drift, records untouched.
+  sim::Engine eng;
+  ActionJournal journal(eng);
+  const int a = journal.open("qr", ActionKind::kMigrate, {1, 2}, {3, 4});
+  const int b = journal.open("nbody", ActionKind::kSwap, {5, 6});
+  journal.beginCommit(a);
+  ASSERT_EQ(journal.inFlight(), 2);
+
+  EXPECT_EQ(journal.recover("control-plane restart"), 2);
+  EXPECT_EQ(journal.inFlight(), 0);
+  EXPECT_EQ(journal.recoveries(), 1);
+  EXPECT_EQ(journal.record(a).state, ActionState::kRolledBack);
+  EXPECT_EQ(journal.record(b).state, ActionState::kRolledBack);
+  const auto firstScan = journal.records();
+  const int rolledBack = journal.rolledBack();
+
+  // Second scan over the already-recovered journal.
+  EXPECT_EQ(journal.recover("control-plane restart"), 0);
+  EXPECT_EQ(journal.recoveries(), 1);  // only scans that resolved count
+  EXPECT_EQ(journal.rolledBack(), rolledBack);
+  EXPECT_EQ(journal.inFlight(), 0);
+  ASSERT_EQ(journal.records().size(), firstScan.size());
+  for (std::size_t i = 0; i < firstScan.size(); ++i) {
+    EXPECT_EQ(journal.records()[i].state, firstScan[i].state);
+    EXPECT_EQ(journal.records()[i].resolvedAt, firstScan[i].resolvedAt);
+    EXPECT_EQ(journal.records()[i].note, firstScan[i].note);
+  }
+
+  // A post-recovery action opened by the restored control plane is *not*
+  // touched by a later stray scan wave until it is actually unresolved at
+  // scan time — recover() resolves it (it is open), but exactly once.
+  const int c = journal.open("qr", ActionKind::kMigrate, {3, 4});
+  journal.commit(c, "normal resolution");
+  EXPECT_EQ(journal.recover("late scan"), 0);
+  EXPECT_EQ(journal.record(c).state, ActionState::kCommitted);
+}
+
 TEST(Journal, MigrationSourceDeathRollsBackAndRemaps) {
   // Killing a *source* node mid-prepare aborts the stop checkpoint; the
   // action rolls back, and since the prior mapping lost a node the manager

@@ -518,6 +518,150 @@ void ruleR5(Ctx& c) {
 }
 
 // ---------------------------------------------------------------------------
+// R6 — snapshot encode/decode field symmetry.
+// ---------------------------------------------------------------------------
+
+/// The SnapshotWriter/SnapshotReader call vocabularies. encodeState and
+/// decodeState of the same class must contain the same number of these call
+/// sites (see core/snapshot.hpp): the reader's tag check catches a *type*
+/// mismatch at restore time, but a dropped or doubled field of the right
+/// type round-trips silently and only surfaces as replay divergence. Loop
+/// bodies count once per call site on both sides, so symmetric encoders
+/// stay symmetric by construction.
+constexpr string_view kPutCalls[] = {"putU64", "putI64", "putF64", "putBool",
+                                     "putStr"};
+constexpr string_view kGetCalls[] = {"getU64", "getI64", "getF64", "getBool",
+                                     "getStr"};
+
+void ruleR6(Ctx& c) {
+  if (!c.inSrc) return;
+
+  struct Sym {
+    int puts = -1;  ///< -1 = no encodeState definition seen in this file
+    int gets = -1;
+    int encodeLine = 0;
+    int decodeLine = 0;
+  };
+  std::vector<std::pair<std::string, Sym>> classes;
+  auto symFor = [&classes](const std::string& name) -> Sym& {
+    for (auto& [n, s] : classes) {
+      if (n == name) return s;
+    }
+    classes.emplace_back(name, Sym{});
+    return classes.back().second;
+  };
+
+  // Class-context stack so in-class (inline) definitions attribute to the
+  // right type; out-of-line `Type::encodeState` qualifies itself.
+  struct ClassCtx {
+    string_view name;
+    int depth;  ///< brace depth outside the class body
+  };
+  std::vector<ClassCtx> stack;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Token& t = c.tok(i);
+    if (isP(t, "{")) ++depth;
+    if (isP(t, "}")) {
+      --depth;
+      while (!stack.empty() && depth <= stack.back().depth) stack.pop_back();
+    }
+
+    // Track `class X ... {` / `struct X ... {` definitions. `enum class`,
+    // forward declarations, and template parameters must not push context.
+    if ((isId(t, "class") || isId(t, "struct")) &&
+        !(i > 0 && isId(c.tok(i - 1), "enum"))) {
+      std::size_t n = i + 1;
+      while (n < c.size() && c.tok(n).kind == Tok::kIdent &&
+             isId(c.tok(n), "alignas")) {
+        ++n;
+      }
+      if (n >= c.size() || c.tok(n).kind != Tok::kIdent) continue;
+      const string_view name = c.tok(n).text;
+      std::size_t j = n + 1;
+      bool isDef = false;
+      while (j < c.size()) {
+        if (isP(c.tok(j), "<")) {
+          j = c.skipAngles(j);
+          continue;
+        }
+        if (isP(c.tok(j), "{")) {
+          isDef = true;
+          break;
+        }
+        if (isP(c.tok(j), ";") || isP(c.tok(j), ">") || isP(c.tok(j), ",") ||
+            isP(c.tok(j), ")") || isP(c.tok(j), "=")) {
+          break;
+        }
+        ++j;
+      }
+      if (isDef) stack.push_back(ClassCtx{name, depth});
+      continue;
+    }
+
+    const bool isEncode = isId(t, "encodeState");
+    const bool isDecode = isId(t, "decodeState");
+    if ((!isEncode && !isDecode) || i + 1 >= c.size() ||
+        !isP(c.tok(i + 1), "(")) {
+      continue;
+    }
+    // `x.encodeState(w)` / `rec.rss.decodeState(r)` are delegation calls,
+    // not definitions — their fields are counted where they are defined.
+    if (i > 0 && (isP(c.tok(i - 1), ".") || isP(c.tok(i - 1), "->"))) {
+      continue;
+    }
+
+    std::string cls;
+    if (i >= 2 && isP(c.tok(i - 1), "::") && c.tok(i - 2).kind == Tok::kIdent) {
+      cls = std::string(c.tok(i - 2).text);
+    } else if (!stack.empty()) {
+      cls = std::string(stack.back().name);
+    } else {
+      continue;  // free function of the same name — not our interface
+    }
+
+    const std::size_t close = c.closeParen(i + 1);
+    std::size_t j = close + 1;
+    while (j < c.size() &&
+           (isId(c.tok(j), "const") || isId(c.tok(j), "override") ||
+            isId(c.tok(j), "final") || isId(c.tok(j), "noexcept"))) {
+      ++j;
+    }
+    if (j >= c.size() || !isP(c.tok(j), "{")) continue;  // declaration only
+    const std::size_t end = c.closeBrace(j);
+
+    int count = 0;
+    const auto& vocab = isEncode ? kPutCalls : kGetCalls;
+    for (std::size_t k = j + 1; k < end; ++k) {
+      if (c.tok(k).kind == Tok::kIdent && contains(vocab, c.tok(k).text) &&
+          k + 1 < end && isP(c.tok(k + 1), "(")) {
+        ++count;
+      }
+    }
+    Sym& sym = symFor(cls);
+    if (isEncode) {
+      sym.puts = count;
+      sym.encodeLine = t.line;
+    } else {
+      sym.gets = count;
+      sym.decodeLine = t.line;
+    }
+  }
+
+  for (const auto& [name, sym] : classes) {
+    if (sym.puts < 0 || sym.gets < 0) continue;  // split across files
+    if (sym.puts == sym.gets) continue;
+    c.add(sym.decodeLine, "R6",
+          name + "::decodeState has " + std::to_string(sym.gets) +
+              " get* call site(s) but encodeState (line " +
+              std::to_string(sym.encodeLine) + ") has " +
+              std::to_string(sym.puts) +
+              " put* — snapshot fields must round-trip one-for-one");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions: `grads-lint: allow(RULE reason text)`; covers the
 // annotation's own line and the next line, one rule id per allow().
 // ---------------------------------------------------------------------------
@@ -579,6 +723,7 @@ FileReport analyzeSource(const std::string& relPath, std::string_view content) {
   ruleR3(c);
   ruleR4(c);
   ruleR5(c);
+  ruleR6(c);
 
   report.suppressions = parseSuppressions(relPath, lexed.comments);
   for (Finding& f : report.findings) {

@@ -12,7 +12,7 @@ namespace grads::lint {
 struct Finding {
   std::string file;  ///< repo-relative path, forward slashes
   int line = 0;
-  std::string rule;      ///< "R1".."R5"
+  std::string rule;      ///< "R1".."R6"
   std::string severity;  ///< "error" (all shipped rules fail CI)
   std::string message;
   bool suppressed = false;
@@ -46,6 +46,10 @@ struct FileReport {
 ///       engine hot paths already converted to sim::InlineFn.
 ///   R5  include hygiene: banned headers in src/, #pragma once in headers,
 ///       no parent-relative includes, no using-namespace in headers.
+///   R6  snapshot field symmetry: a class defining both encodeState and
+///       decodeState (core/snapshot.hpp) must have the same number of
+///       SnapshotWriter put* call sites as SnapshotReader get* call sites —
+///       an asymmetric pair silently corrupts restore past the tag checks.
 ///
 /// `relPath` selects which rules apply (src/ vs bench/ vs tests/ etc.) and
 /// which per-path allowlists fire; it must use forward slashes.
