@@ -44,6 +44,7 @@
 #include "core/snapshot.hpp"
 #include "grid/load.hpp"
 #include "grid/testbeds.hpp"
+#include "metasched/frontend.hpp"
 #include "reschedule/chaos.hpp"
 #include "reschedule/failure.hpp"
 #include "reschedule/governor.hpp"
@@ -79,6 +80,7 @@ struct World {
   std::optional<reschedule::ViolationGovernor> governor;
   std::optional<reschedule::StopRestartRescheduler> rescheduler;
   std::optional<core::AppManager> mgr;
+  std::optional<metasched::MetaScheduler> meta;
   core::Cop cop;
   core::ManagerOptions mopts;
   std::vector<reschedule::ChaosEvent> schedule;
@@ -125,6 +127,7 @@ void registerComponents(World& w) {
   reg.add(*w.autopilot);
   if (w.journal) reg.add(*w.journal);
   if (w.governor) reg.add(*w.governor);
+  if (w.meta) reg.add(*w.meta);
 }
 
 // --- Scenario builders: the determinism probe's configs, same seeds. ---
@@ -312,6 +315,82 @@ void buildThrash(World& w, std::uint64_t seed, bool armDaemons) {
   }
 }
 
+/// Multi-tenant metascheduler under overload (PR 7): admission + brownout +
+/// journaled checkpoint-and-park preemption over a 4-slot pool at ~2.2x
+/// offered load. Crash points additionally include sampled frontend
+/// transitions (admit / shed / dispatch / preempt / park / unpark), so the
+/// sweep kills the control plane exactly at the admission, shed, and
+/// preemption boundaries the ISSUE calls out.
+void buildTenant(World& w, std::uint64_t seed, bool armDaemons) {
+  const auto site = w.g.addCluster(
+      grid::ClusterSpec{"site", "Site", grid::fastEthernetLan("site.lan", 4)});
+  std::vector<grid::NodeId> slots;
+  for (int i = 0; i < 4; ++i) {
+    slots.push_back(w.g.addNode(site, grid::utkQrNodeSpec(i)));
+  }
+  w.gis.emplace(w.g);
+  w.gis->installEverywhere(services::software::kLocalBinder);
+  w.gis->installEverywhere(services::software::kSrsLibrary);
+  w.nws.emplace(w.eng, w.g, 60.0, 0.0, 9);
+  w.ibp.emplace(w.g);
+  w.autopilot.emplace(w.eng);
+  w.journal.emplace(w.eng);
+  w.mgr.emplace(w.g, *w.gis, &*w.nws, *w.ibp, *w.autopilot);
+
+  const double refRate =
+      w.g.node(slots.front()).spec().effectiveFlopsPerCpu();
+  metasched::FrontendOptions fo;
+  fo.slots = slots;
+  fo.horizonSec = 1200.0;
+  fo.hardDeadlineSec = 2400.0;
+  fo.controlPeriodSec = 30.0;
+  fo.flopsPerPhase = refRate * 15.0;
+  fo.refFlopsPerSec = refRate;
+  fo.seed = seed;
+  const struct { const char* name; int tier; double weight; double share; }
+      shapes[] = {{"hi", 2, 2.0, 0.2}, {"norm", 1, 1.0, 0.3},
+                  {"batch", 0, 1.0, 0.5}};
+  const double totalRate = 2.2 * 4.0 / 100.0;
+  int i = 0;
+  for (const auto& s : shapes) {
+    metasched::TenantSpec t;
+    t.name = s.name;
+    t.tier = s.tier;
+    t.weight = s.weight;
+    t.baseRatePerSec = s.share * totalRate;
+    t.diurnalAmplitude = 0.4;
+    t.diurnalPeriodSec = 600.0;
+    t.diurnalPhaseSec = 150.0 * i;
+    t.paretoXmFlops = refRate * 45.0;
+    t.paretoAlpha = 1.9;
+    t.maxJobFlops = refRate * 450.0;
+    t.resubmit.maxAttempts = 3;
+    t.resubmit.baseDelaySec = 20.0;
+    t.resubmit.maxDelaySec = 200.0;
+    t.resubmit.jitterFrac = 0.2;
+    t.seed = seed + 17 * static_cast<std::uint64_t>(i + 1);
+    fo.tenants.push_back(t);
+    ++i;
+  }
+  fo.admission.maxQueuedPerTenant = 10;
+  fo.admission.maxQueuedTotal = 32;
+  fo.admission.maxBacklogSec = 400.0;
+  fo.admission.retryAfterMinSec = 15.0;
+  fo.admission.retryAfterMaxSec = 240.0;
+  fo.brownout.dwellSec = 60.0;
+  fo.preempt.minRunSec = 20.0;
+  fo.preempt.cooldownSec = 90.0;
+  fo.preempt.highTierMaxWaitSec = 120.0;
+  fo.jobOptions.resourceSelectionSec = 1.0;
+  fo.jobOptions.perfModelingSec = 0.5;
+  fo.jobOptions.appStartPerRankSec = 0.5;
+  fo.jobOptions.monitorContract = false;
+  w.meta.emplace(*w.mgr, w.g, *w.gis, &*w.nws, &*w.journal, std::move(fo));
+
+  registerComponents(w);
+  if (armDaemons) w.nws->start();
+}
+
 struct Scenario {
   const char* name;
   std::uint64_t seed;
@@ -323,18 +402,38 @@ constexpr Scenario kScenarios[] = {
     {"chaos-qr", 11, buildChaos, false},
     {"integrity-qr", 21, buildIntegrity, false},
     {"thrash-governed", 31, buildThrash, true},
+    {"tenant-overload", 41, buildTenant, true},
 };
 
-void spawnApps(World& w) {
+void spawnApps(World& w, bool restored) {
+  if (w.meta) {
+    // The metascheduler owns all app spawning for the tenant scenario.
+    if (restored) {
+      w.meta->resumeAfterRestore();
+    } else {
+      w.meta->start();
+    }
+    return;
+  }
   if (w.mgr->isCompleted(w.cop.name)) return;
   reschedule::StopRestartRescheduler* rs =
       w.rescheduler ? &*w.rescheduler : nullptr;
   w.eng.spawn(w.mgr->run(w.cop, rs, w.mopts, &w.bd), w.cop.name);
 }
 
+/// Scenario-specific completion: the single app finished, or (tenant) the
+/// frontend drained with no failed runs.
+bool scenarioCompleted(World& w) {
+  if (w.meta) {
+    return w.meta->drained() && w.meta->totals().failed == 0;
+  }
+  return w.mgr->isCompleted(w.cop.name);
+}
+
 struct Profile {
   std::uint64_t totalEvents = 0;
   std::uint64_t journalTransitions = 0;
+  std::uint64_t frontendTransitions = 0;
 };
 
 Profile profileScenario(const Scenario& sc) {
@@ -345,20 +444,33 @@ Profile profileScenario(const Scenario& sc) {
     w.journal->setOnTransition(
         [&prof](const reschedule::ActionRecord&) { ++prof.journalTransitions; });
   }
-  spawnApps(w);
+  if (w.meta) {
+    w.meta->setOnTransition(
+        [&prof](const char*) { ++prof.frontendTransitions; });
+  }
+  spawnApps(w, false);
   w.eng.run();
   w.eng.rethrowIfFailed();
-  GRADS_REQUIRE(w.mgr->isCompleted(w.cop.name),
+  GRADS_REQUIRE(scenarioCompleted(w),
                 "crash_sweep: uncrashed profile run did not complete");
   prof.totalEvents = w.eng.processedEvents();
   return prof;
 }
 
 struct CrashPoint {
-  enum class Kind { kJournal, kEvent };
+  enum class Kind { kJournal, kEvent, kFrontend };
   Kind kind = Kind::kEvent;
   std::uint64_t index = 0;  ///< transition ordinal / pop ordinal, 1-based
 };
+
+const char* kindName(CrashPoint::Kind k) {
+  switch (k) {
+    case CrashPoint::Kind::kJournal: return "journal";
+    case CrashPoint::Kind::kEvent: return "event";
+    case CrashPoint::Kind::kFrontend: return "frontend";
+  }
+  return "?";
+}
 
 struct CrashResult {
   bool crashed = false;
@@ -402,7 +514,7 @@ CrashResult runCrashed(const Scenario& sc, const CrashPoint& point) {
           }
         },
         &stop);
-  } else {
+  } else if (point.kind == CrashPoint::Kind::kJournal) {
     w.journal->setOnTransition(
         [&stop, &w](const reschedule::ActionRecord&) {
           if (++stop.seen == stop.target) {
@@ -411,8 +523,16 @@ CrashResult runCrashed(const Scenario& sc, const CrashPoint& point) {
             w.eng.stop();
           }
         });
+  } else {
+    w.meta->setOnTransition([&stop, &w](const char*) {
+      if (++stop.seen == stop.target) {
+        stop.fired = true;
+        stop.at = w.eng.now();
+        w.eng.stop();
+      }
+    });
   }
-  spawnApps(w);
+  spawnApps(w, false);
   w.mgr->armSnapshotDaemon(kSnapshotPeriodSec, sink);
   sink(w.mgr->snapshotNow());  // t=0 baseline: a crash before the first
                                // periodic capture restores from the start
@@ -445,19 +565,22 @@ RestoreOutcome runRestored(const Scenario& sc,
   w.eng.runUntil(img.simTime);
   w.mgr->restoreFrom(img);
   if (w.journal) w.journal->recover("control-plane restart");
-  w.chaos->armFrom(w.schedule, img.simTime);
+  if (w.chaos) w.chaos->armFrom(w.schedule, img.simTime);
   for (const auto& [node, trace] : w.traces) {
     grid::applyLoadTraceFrom(w.eng, w.g.node(node), trace, img.simTime);
   }
   w.nws->start();
-  spawnApps(w);
+  spawnApps(w, true);
   w.eng.run();
   w.eng.rethrowIfFailed();
   RestoreOutcome out;
-  out.completed = w.mgr->isCompleted(w.cop.name);
+  out.completed = scenarioCompleted(w);
   out.daemonRearms = w.bd.daemonRearms;
   foldBreakdown(ds, w.bd);
-  ds.put(static_cast<std::uint64_t>(w.chaos->counters().total()));
+  if (w.chaos) {
+    ds.put(static_cast<std::uint64_t>(w.chaos->counters().total()));
+  }
+  if (w.meta) w.meta->foldDigest(ds);
   out.digest = ds.digest();
   return out;
 }
@@ -502,8 +625,20 @@ int main(int argc, char** argv) {
                   static_cast<std::uint64_t>(eventCrashesPerScenario + 1);
       points.push_back({CrashPoint::Kind::kEvent, target});
     }
+    // Frontend transitions (tenant scenario only): evenly sampled ordinals
+    // land crashes exactly at admit/shed/dispatch/preempt/park boundaries.
+    const int frontendCrashes =
+        prof.frontendTransitions > 0 ? (quick ? 6 : 24) : 0;
+    for (int i = 0; i < frontendCrashes; ++i) {
+      const std::uint64_t target =
+          1 + (prof.frontendTransitions - 1) *
+                  static_cast<std::uint64_t>(i + 1) /
+                  static_cast<std::uint64_t>(frontendCrashes + 1);
+      points.push_back({CrashPoint::Kind::kFrontend, target});
+    }
     std::cout << sc.name << ": " << prof.totalEvents << " events, "
               << prof.journalTransitions << " journal transitions, "
+              << prof.frontendTransitions << " frontend transitions, "
               << points.size() << " crash points\n";
 
     // Reference arms cached per image bytes: crash points sharing a
@@ -516,10 +651,8 @@ int main(int argc, char** argv) {
         // journal transition count that shrank, which profileScenario rules
         // out) — treat as a sweep bug, not a pass.
         ++failures;
-        rows.push_back({sc.name,
-                        point.kind == CrashPoint::Kind::kEvent ? "event"
-                                                               : "journal",
-                        point.index, 0.0, 0.0, false, 0, 0, false});
+        rows.push_back({sc.name, kindName(point.kind), point.index, 0.0, 0.0,
+                        false, 0, 0, false});
         continue;
       }
       auto ref = refCache.find(cr.image);
@@ -530,12 +663,9 @@ int main(int argc, char** argv) {
       const bool match = restored.digest == ref->second.digest;
       const bool ok = match && restored.completed && ref->second.completed;
       if (!ok) ++failures;
-      rows.push_back({sc.name,
-                      point.kind == CrashPoint::Kind::kEvent ? "event"
-                                                             : "journal",
-                      point.index, cr.crashTime, cr.snapshotTime,
-                      restored.completed, restored.digest,
-                      ref->second.digest, match});
+      rows.push_back({sc.name, kindName(point.kind), point.index,
+                      cr.crashTime, cr.snapshotTime, restored.completed,
+                      restored.digest, ref->second.digest, match});
     }
   }
 

@@ -13,8 +13,8 @@
 // address-dependent decision has every opportunity to diverge.
 //
 // Scenarios: engine churn, perf DAG scheduling, chaos campaign, integrity
-// campaign, governed thrash — one per subsystem family the roadmap keeps
-// rewriting.
+// campaign, governed thrash, tenant overload — one per subsystem family the
+// roadmap keeps rewriting.
 //
 // Usage: determinism_probe [--quick]   (--quick: engine + DAG probes only)
 // Exit:  0 = all digests bit-identical, 1 = divergence (prints offender).
@@ -29,6 +29,7 @@
 #include "core/app_manager.hpp"
 #include "grid/load.hpp"
 #include "grid/testbeds.hpp"
+#include "metasched/frontend.hpp"
 #include "reschedule/chaos.hpp"
 #include "reschedule/failure.hpp"
 #include "reschedule/governor.hpp"
@@ -71,6 +72,10 @@ void foldBreakdown(util::DigestStream& ds, const core::RunBreakdown& bd) {
   ds.put(static_cast<std::uint64_t>(bd.actionsCommitted));
   ds.put(static_cast<std::uint64_t>(bd.actionsRolledBack));
   ds.put(static_cast<std::uint64_t>(bd.violationsSuppressed));
+  ds.put(static_cast<std::uint64_t>(bd.admissionRetries));
+  ds.put(static_cast<std::uint64_t>(bd.admissionSheds));
+  ds.put(static_cast<std::uint64_t>(bd.preemptParks));
+  ds.put(static_cast<std::uint64_t>(bd.brownoutDeferrals));
   for (const auto& mapping : bd.mappings) {
     for (const auto node : mapping) ds.put(static_cast<std::uint64_t>(node));
   }
@@ -364,6 +369,92 @@ std::uint64_t probeThrash(std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
+// Probe 6: tenant overload — admission + brownout + preemption (PR 7
+// machinery). A deliberately over-tight slot pool so every mitigation path
+// (shed, jittered resubmit, defer, park/unpark, journaled preempt) runs.
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeTenant(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+  grid::Grid g(eng);
+  const auto site = g.addCluster(
+      grid::ClusterSpec{"site", "Site", grid::fastEthernetLan("site.lan", 4)});
+  std::vector<grid::NodeId> slots;
+  for (int i = 0; i < 4; ++i) slots.push_back(g.addNode(site, grid::utkQrNodeSpec(i)));
+
+  services::Gis gis(g);
+  gis.installEverywhere(services::software::kLocalBinder);
+  gis.installEverywhere(services::software::kSrsLibrary);
+  services::Nws nws(eng, g, 60.0, 0.0, 9);
+  nws.start();
+  services::Ibp ibp(g);
+  autopilot::AutopilotManager autopilot(eng);
+  reschedule::ActionJournal journal(eng);
+  core::AppManager mgr(g, gis, &nws, ibp, autopilot);
+
+  const double refRate = g.node(slots.front()).spec().effectiveFlopsPerCpu();
+  metasched::FrontendOptions fo;
+  fo.slots = slots;
+  fo.horizonSec = 2400.0;
+  fo.hardDeadlineSec = 3600.0;
+  fo.controlPeriodSec = 30.0;
+  fo.flopsPerPhase = refRate * 20.0;
+  fo.refFlopsPerSec = refRate;
+  fo.seed = seed;
+  const struct { const char* name; int tier; double weight; double share; }
+      shapes[] = {{"hi", 2, 2.0, 0.2}, {"norm", 1, 1.0, 0.3},
+                  {"batch", 0, 1.0, 0.5}};
+  const double totalRate = 2.5 * 4.0 / 130.0;  ///< ~2.5x the 4-slot capacity
+  int i = 0;
+  for (const auto& s : shapes) {
+    metasched::TenantSpec t;
+    t.name = s.name;
+    t.tier = s.tier;
+    t.weight = s.weight;
+    t.baseRatePerSec = s.share * totalRate;
+    t.diurnalAmplitude = 0.4;
+    t.diurnalPeriodSec = 1200.0;
+    t.diurnalPhaseSec = 200.0 * i;
+    t.paretoXmFlops = refRate * 60.0;
+    t.paretoAlpha = 1.9;
+    t.maxJobFlops = refRate * 900.0;
+    t.resubmit.maxAttempts = 3;
+    t.resubmit.baseDelaySec = 30.0;
+    t.resubmit.maxDelaySec = 300.0;
+    t.resubmit.jitterFrac = 0.2;
+    t.seed = seed + 17 * static_cast<std::uint64_t>(i + 1);
+    fo.tenants.push_back(t);
+    ++i;
+  }
+  fo.admission.maxQueuedPerTenant = 12;
+  fo.admission.maxQueuedTotal = 40;
+  fo.admission.maxBacklogSec = 600.0;
+  fo.admission.retryAfterMinSec = 20.0;
+  fo.admission.retryAfterMaxSec = 400.0;
+  fo.brownout.dwellSec = 60.0;
+  fo.preempt.minRunSec = 30.0;
+  fo.preempt.cooldownSec = 120.0;
+  fo.preempt.highTierMaxWaitSec = 180.0;
+  fo.jobOptions.resourceSelectionSec = 1.0;
+  fo.jobOptions.perfModelingSec = 0.5;
+  fo.jobOptions.appStartPerRankSec = 0.5;
+  fo.jobOptions.monitorContract = false;
+
+  metasched::MetaScheduler meta(mgr, g, gis, &nws, &journal, std::move(fo));
+  meta.setOnJobComplete([&ds](const metasched::JobStats& s) {
+    foldBreakdown(ds, s.breakdown);
+  });
+  meta.start();
+  eng.run();
+  eng.rethrowIfFailed();
+  meta.foldDigest(ds);
+  ds.put(static_cast<std::uint64_t>(eng.processedEvents()));
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
 
 struct Probe {
   const char* name;
@@ -378,6 +469,7 @@ constexpr Probe kProbes[] = {
     {"chaos-qr", probeChaos, 11, false},
     {"integrity-qr", probeIntegrity, 21, false},
     {"thrash-governed", probeThrash, 31, false},
+    {"tenant-overload", probeTenant, 41, true},
 };
 
 }  // namespace

@@ -71,6 +71,13 @@ bool AppManager::isCompleted(const std::string& app) const {
   return completed_.count(app) > 0;
 }
 
+bool AppManager::requestStop(const std::string& app) {
+  const auto it = live_->find(app);
+  if (it == live_->end() || it->second.rss == nullptr) return false;
+  it->second.rss->requestStop();
+  return true;
+}
+
 std::optional<AppManager::ResumeRecord> AppManager::takeResume(
     const std::string& app) {
   const auto it = resume_.find(app);
@@ -255,6 +262,12 @@ sim::Task AppManager::run(const Cop& cop,
   util::Retry launchRetry(options.launchRetry, &launchRng);
 
   while (true) {
+    // --- Metascheduler gate (park latch). ---
+    // A frontend holds parked apps here between checkpoint-and-stop and the
+    // re-dispatch that reopens the gate; until then the app occupies no node
+    // and consumes no Grid-side service time.
+    if (options.relaunchGate) co_await options.relaunchGate(cop.name);
+
     // --- Resource selection (scheduler queries GIS/NWS). ---
     double t0 = eng.now();
     co_await sim::sleepFor(eng, options.resourceSelectionSec);

@@ -88,6 +88,12 @@ struct ManagerOptions {
   /// the rescheduler; a non-admit verdict returns kSuppressed (tolerances
   /// unchanged). May be null: violations pass straight through.
   reschedule::ViolationGovernor* governor = nullptr;
+
+  // --- Metascheduler coordination. ---
+  /// Awaited at the top of every launch iteration (initial and relaunch).
+  /// A frontend closes this gate to park a checkpointed app off its nodes
+  /// and opens it to resume; null = launch immediately (seed behavior).
+  std::function<sim::Task(const std::string&)> relaunchGate;
 };
 
 /// Per-run accounting matching Figure 3's stacked bars; one entry per
@@ -115,6 +121,10 @@ struct RunBreakdown {
   int actionsCommitted = 0;    ///< actions that reached their commit point
   int actionsRolledBack = 0;   ///< actions resolved back to the prior mapping
   int violationsSuppressed = 0;///< confirmed violations the governor held
+  int admissionRetries = 0;    ///< frontend resubmits after a shed (retry-after)
+  int admissionSheds = 0;      ///< admission-controller rejections of this app
+  int preemptParks = 0;        ///< checkpoint-and-park cycles forced on this app
+  int brownoutDeferrals = 0;   ///< dispatch opportunities lost to brownout
   /// Background daemons re-armed for this app after a control-plane restart
   /// (scrubber tick chain, contract-monitor listener). Each re-arms exactly
   /// once per restore — the arm-once guards make a double restore protocol
@@ -147,6 +157,12 @@ class AppManager : public core::Snapshottable {
   sim::Task run(const Cop& cop,
                 reschedule::StopRestartRescheduler* rescheduler,
                 ManagerOptions options, RunBreakdown* out);
+
+  /// Requests a checkpoint-and-stop of a live run (the metascheduler's
+  /// preemption path rides the same RSS stop protocol the rescheduler
+  /// uses). Returns false when the app has no live incarnation — the
+  /// caller must not assume the stop was delivered.
+  bool requestStop(const std::string& app);
 
   // --- Whole-simulation snapshot/restore. ---
 
@@ -192,7 +208,7 @@ class AppManager : public core::Snapshottable {
  private:
   /// Live-run state registered by a run() frame for the snapshot encoder.
   struct AppRuntime {
-    const reschedule::Rss* rss = nullptr;
+    reschedule::Rss* rss = nullptr;
     const std::unique_ptr<autopilot::ContractMonitor>* monitor = nullptr;
     const reschedule::DepotScrubber* scrubber = nullptr;
   };

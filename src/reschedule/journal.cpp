@@ -11,6 +11,7 @@ const char* actionKindName(ActionKind kind) {
   switch (kind) {
     case ActionKind::kMigrate: return "migrate";
     case ActionKind::kSwap: return "swap";
+    case ActionKind::kPreempt: return "preempt";
   }
   return "?";
 }

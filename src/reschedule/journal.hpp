@@ -15,6 +15,7 @@ namespace grads::reschedule {
 enum class ActionKind {
   kMigrate,  ///< stop/migrate/restart through the application manager
   kSwap,     ///< single-rank process swap through the SwapManager
+  kPreempt,  ///< checkpoint-and-park a victim for the metascheduler
 };
 
 /// Transaction state machine of one rescheduling action:

@@ -403,6 +403,50 @@ TEST(LintR6, DeclarationsAndSplitDefinitionsAreSilent) {
   EXPECT_EQ(countRule(half, "R6"), 0);
 }
 
+TEST(LintR6, TenantLedgerShapeWithVectorTailIsSymmetric) {
+  // The metasched tenant-ledger shape: a run of scalar counters followed by
+  // a length-prefixed vector. Encode writes size+loop, decode reads
+  // size+resize+loop — call-site counts match per type, so R6 is silent.
+  const auto r = lintOne("src/metasched/bar.cpp", R"cpp(
+    void Ledger::encodeState(core::SnapshotWriter& w) const {
+      w.putI64(submitted);
+      w.putI64(admitted);
+      w.putI64(shed);
+      w.putU64(slowdowns.size());
+      for (const double s : slowdowns) w.putF64(s);
+    }
+    void Ledger::decodeState(core::SnapshotReader& r) {
+      submitted = r.getI64();
+      admitted = r.getI64();
+      shed = r.getI64();
+      slowdowns.resize(r.getU64());
+      for (double& s : slowdowns) s = r.getF64();
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 0);
+}
+
+TEST(LintR6, TenantLedgerDroppedCounterIsFlagged) {
+  // Same shape, but decode forgets one scalar: every later field shifts one
+  // word and the vector length is garbage. R6 catches the count mismatch.
+  const auto r = lintOne("src/metasched/bar.cpp", R"cpp(
+    void Ledger::encodeState(core::SnapshotWriter& w) const {
+      w.putI64(submitted);
+      w.putI64(admitted);
+      w.putI64(shed);
+      w.putU64(slowdowns.size());
+      for (const double s : slowdowns) w.putF64(s);
+    }
+    void Ledger::decodeState(core::SnapshotReader& r) {
+      submitted = r.getI64();
+      admitted = r.getI64();
+      slowdowns.resize(r.getU64());
+      for (double& s : slowdowns) s = r.getF64();
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 1);
+}
+
 TEST(LintR6, Suppressed) {
   const auto r = lintOne("src/core/foo.cpp", R"cpp(
     void Foo::encodeState(core::SnapshotWriter& w) const { w.putU64(a_); }

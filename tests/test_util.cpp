@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/retry.hpp"
@@ -267,6 +268,57 @@ TEST(Retry, BackoffSaturatesAtCap) {
     EXPECT_DOUBLE_EQ(*retry.nextDelaySec(), 50.0);  // 200, 2000... clamped
   }
   EXPECT_FALSE(retry.nextDelaySec().has_value());
+}
+
+TEST(Retry, NominalScheduleIsAPureFunctionOfAttemptIndex) {
+  // delaySec(i, nullptr) is the un-jittered schedule the admission
+  // frontend combines with retry-after hints: max(hint, delaySec(i)).
+  // It must be stateless — same index, same answer, no draws consumed.
+  util::RetryPolicy p;
+  p.maxAttempts = 6;
+  p.baseDelaySec = 3.0;
+  p.backoffFactor = 2.0;
+  p.maxDelaySec = 20.0;
+  p.jitterFrac = 0.5;  // ignored without an RNG
+  EXPECT_DOUBLE_EQ(p.delaySec(0, nullptr), 3.0);
+  EXPECT_DOUBLE_EQ(p.delaySec(1, nullptr), 6.0);
+  EXPECT_DOUBLE_EQ(p.delaySec(2, nullptr), 12.0);
+  EXPECT_DOUBLE_EQ(p.delaySec(3, nullptr), 20.0);  // capped
+  EXPECT_DOUBLE_EQ(p.delaySec(0, nullptr), 3.0);   // re-query: unchanged
+}
+
+TEST(Retry, JitteredScheduleReplaysFromSavedRngState) {
+  // The metascheduler snapshots each tenant's RNG stream; after a
+  // crash-restart the remaining jittered resubmit schedule must replay
+  // bit-identically from the restored state.
+  util::RetryPolicy p;
+  p.maxAttempts = 8;
+  p.baseDelaySec = 5.0;
+  p.jitterFrac = 0.3;
+  Rng rng(7);
+  // Burn a prefix so the saved state is mid-stream, not the seed.
+  for (int i = 0; i < 3; ++i) (void)p.delaySec(i, &rng);
+  const RngState saved = rng.state();
+  std::vector<double> first;
+  for (int i = 0; i < 5; ++i) first.push_back(p.delaySec(i, &rng));
+  rng.setState(saved);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(p.delaySec(i, &rng), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Retry, ExhaustionIsPermanentAndCountsAttempts) {
+  util::RetryPolicy p;
+  p.maxAttempts = 4;  // first try + three retries
+  p.jitterFrac = 0.0;
+  util::Retry retry(p);
+  int granted = 0;
+  while (retry.nextDelaySec().has_value()) ++granted;
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(retry.attemptsUsed(), 3);
+  // Polling past exhaustion neither grants nor counts.
+  EXPECT_FALSE(retry.nextDelaySec().has_value());
+  EXPECT_EQ(retry.attemptsUsed(), 3);
 }
 
 }  // namespace
