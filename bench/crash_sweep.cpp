@@ -1,9 +1,9 @@
 // Control-plane crash-restart sweep — the headline verifier for the
 // snapshot/restore layer (DESIGN.md, "Snapshot/restore invariants").
 //
-// Each scenario (chaos, integrity, governed thrash — the determinism probe's
-// campaign configs, same seeds) is first profiled uncrashed to learn its
-// event count and journal-transition count. The sweep then kills the whole
+// Each scenario (chaos, integrity, governed thrash, tenant overload,
+// what-if forked rescheduling) is first profiled uncrashed to learn its
+// event count and journal/frontend/fork transition counts. The sweep then kills the whole
 // control plane — engine, grid, services, manager, every coroutine frame —
 // at every ActionJournal state transition and at sampled event boundaries,
 // and rebuilds a fresh control plane that restores from the latest periodic
@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "apps/qr.hpp"
+#include "bench_cli.hpp"
 #include "bench_paths.hpp"
 #include "core/app_manager.hpp"
 #include "core/snapshot.hpp"
@@ -50,11 +51,13 @@
 #include "reschedule/governor.hpp"
 #include "reschedule/journal.hpp"
 #include "reschedule/rescheduler.hpp"
+#include "reschedule/whatif/fork_driver.hpp"
 #include "services/gis.hpp"
 #include "services/ibp.hpp"
 #include "services/nws.hpp"
 #include "sim/engine.hpp"
 #include "util/hash.hpp"
+#include "whatif_world.hpp"
 
 using namespace grads;
 
@@ -79,6 +82,7 @@ struct World {
   std::optional<reschedule::ActionJournal> journal;
   std::optional<reschedule::ViolationGovernor> governor;
   std::optional<reschedule::StopRestartRescheduler> rescheduler;
+  std::optional<reschedule::whatif::ForkDriver> fork;
   std::optional<core::AppManager> mgr;
   std::optional<metasched::MetaScheduler> meta;
   core::Cop cop;
@@ -391,11 +395,31 @@ void buildTenant(World& w, std::uint64_t seed, bool armDaemons) {
   if (armDaemons) w.nws->start();
 }
 
+/// What-if forked rescheduling (PR 8): the shared whatif world — flapping
+/// load, weak cooldown, WAN link degrades — with the fork driver active, so
+/// every governed violation speculates in sandboxed futures before
+/// committing. Crash points additionally include sampled speculation
+/// boundaries (decision / fork-start / fork-done / verdict): killing the
+/// control plane mid-fork must leave the live mapping untouched (presumed
+/// abort), and the restored run must replay bit-identically to its
+/// reference. Reduced fork budget keeps the sweep tractable; the scenario
+/// builder registers its own components (the fork driver snapshots too).
+void buildWhatif(World& w, std::uint64_t seed, bool armDaemons) {
+  bench::WhatifConfig cfg;
+  cfg.seed = seed;
+  cfg.linkDegrades = 2;
+  cfg.withDriver = true;
+  cfg.driver.budget.maxForks = 4;
+  cfg.driver.budget.pessimisticFutures = 1;
+  bench::buildWhatifWorld(w, cfg, armDaemons);
+}
+
 struct Scenario {
   const char* name;
   std::uint64_t seed;
   void (*build)(World&, std::uint64_t, bool);
   bool hasJournal;
+  bool hasFork = false;  ///< reduced event-crash sampling: fork points added
 };
 
 constexpr Scenario kScenarios[] = {
@@ -403,6 +427,7 @@ constexpr Scenario kScenarios[] = {
     {"integrity-qr", 21, buildIntegrity, false},
     {"thrash-governed", 31, buildThrash, true},
     {"tenant-overload", 41, buildTenant, true},
+    {"whatif-forked", 61, buildWhatif, true, true},
 };
 
 void spawnApps(World& w, bool restored) {
@@ -434,6 +459,7 @@ struct Profile {
   std::uint64_t totalEvents = 0;
   std::uint64_t journalTransitions = 0;
   std::uint64_t frontendTransitions = 0;
+  std::uint64_t forkTransitions = 0;
 };
 
 Profile profileScenario(const Scenario& sc) {
@@ -448,6 +474,9 @@ Profile profileScenario(const Scenario& sc) {
     w.meta->setOnTransition(
         [&prof](const char*) { ++prof.frontendTransitions; });
   }
+  if (w.fork) {
+    w.fork->setOnFork([&prof](const char*) { ++prof.forkTransitions; });
+  }
   spawnApps(w, false);
   w.eng.run();
   w.eng.rethrowIfFailed();
@@ -458,7 +487,7 @@ Profile profileScenario(const Scenario& sc) {
 }
 
 struct CrashPoint {
-  enum class Kind { kJournal, kEvent, kFrontend };
+  enum class Kind { kJournal, kEvent, kFrontend, kFork };
   Kind kind = Kind::kEvent;
   std::uint64_t index = 0;  ///< transition ordinal / pop ordinal, 1-based
 };
@@ -468,6 +497,7 @@ const char* kindName(CrashPoint::Kind k) {
     case CrashPoint::Kind::kJournal: return "journal";
     case CrashPoint::Kind::kEvent: return "event";
     case CrashPoint::Kind::kFrontend: return "frontend";
+    case CrashPoint::Kind::kFork: return "fork";
   }
   return "?";
 }
@@ -523,6 +553,18 @@ CrashResult runCrashed(const Scenario& sc, const CrashPoint& point) {
             w.eng.stop();
           }
         });
+  } else if (point.kind == CrashPoint::Kind::kFork) {
+    // Speculation boundary: stop() lands inside decide(), so the engine
+    // halts the instant the enclosing monitor event yields — the live
+    // journal still holds whatever the in-flight decision had (or had not)
+    // opened, exactly like a process crash mid-speculation.
+    w.fork->setOnFork([&stop, &w](const char*) {
+      if (++stop.seen == stop.target) {
+        stop.fired = true;
+        stop.at = w.eng.now();
+        w.eng.stop();
+      }
+    });
   } else {
     w.meta->setOnTransition([&stop, &w](const char*) {
       if (++stop.seen == stop.target) {
@@ -600,10 +642,11 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
+  grads::bench::CliOptions cli;
+  if (!grads::bench::parseCli(argc, argv, cli, "crash_sweep [--quick]")) {
+    return 2;
   }
+  const bool quick = cli.quick;
   const int eventCrashesPerScenario = quick ? 8 : 80;
 
   std::vector<Row> rows;
@@ -618,11 +661,16 @@ int main(int argc, char** argv) {
     for (std::uint64_t k = 1; k <= prof.journalTransitions; ++k) {
       points.push_back({CrashPoint::Kind::kJournal, k});
     }
-    for (int i = 0; i < eventCrashesPerScenario; ++i) {
+    // The whatif scenario replays every crash point's restore under full
+    // speculation (each governed violation re-runs its fork ensemble), so
+    // its event sampling is thinner to keep the sweep tractable.
+    const int eventCrashes =
+        sc.hasFork ? (quick ? 4 : 16) : eventCrashesPerScenario;
+    for (int i = 0; i < eventCrashes; ++i) {
       // Evenly spaced pop ordinals, strictly inside the run.
       const std::uint64_t target =
           1 + (prof.totalEvents - 1) * static_cast<std::uint64_t>(i + 1) /
-                  static_cast<std::uint64_t>(eventCrashesPerScenario + 1);
+                  static_cast<std::uint64_t>(eventCrashes + 1);
       points.push_back({CrashPoint::Kind::kEvent, target});
     }
     // Frontend transitions (tenant scenario only): evenly sampled ordinals
@@ -636,9 +684,20 @@ int main(int argc, char** argv) {
                   static_cast<std::uint64_t>(frontendCrashes + 1);
       points.push_back({CrashPoint::Kind::kFrontend, target});
     }
+    // Speculation boundaries (whatif scenario only): evenly sampled fork
+    // ordinals land crashes exactly at decision / fork-start / fork-done /
+    // verdict — mid-speculation kills must leave the live mapping untouched.
+    const int forkCrashes = prof.forkTransitions > 0 ? (quick ? 4 : 12) : 0;
+    for (int i = 0; i < forkCrashes; ++i) {
+      const std::uint64_t target =
+          1 + (prof.forkTransitions - 1) * static_cast<std::uint64_t>(i + 1) /
+                  static_cast<std::uint64_t>(forkCrashes + 1);
+      points.push_back({CrashPoint::Kind::kFork, target});
+    }
     std::cout << sc.name << ": " << prof.totalEvents << " events, "
               << prof.journalTransitions << " journal transitions, "
               << prof.frontendTransitions << " frontend transitions, "
+              << prof.forkTransitions << " fork transitions, "
               << points.size() << " crash points\n";
 
     // Reference arms cached per image bytes: crash points sharing a

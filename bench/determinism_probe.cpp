@@ -13,8 +13,8 @@
 // address-dependent decision has every opportunity to diverge.
 //
 // Scenarios: engine churn, perf DAG scheduling, chaos campaign, integrity
-// campaign, governed thrash, tenant overload — one per subsystem family the
-// roadmap keeps rewriting.
+// campaign, governed thrash, tenant overload, what-if forked rescheduling —
+// one per subsystem family the roadmap keeps rewriting.
 //
 // Usage: determinism_probe [--quick]   (--quick: engine + DAG probes only)
 // Exit:  0 = all digests bit-identical, 1 = divergence (prints offender).
@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "apps/qr.hpp"
+#include "bench_cli.hpp"
 #include "core/app_manager.hpp"
 #include "grid/load.hpp"
 #include "grid/testbeds.hpp"
@@ -41,6 +42,7 @@
 #include "sim/engine.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "whatif_world.hpp"
 #include "workflow/builders.hpp"
 #include "workflow/scheduler.hpp"
 
@@ -455,6 +457,26 @@ std::uint64_t probeTenant(std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
+// Probe 7: what-if forked rescheduling (PR 8 machinery). Every governed
+// violation spawns sandboxed futures — a second control plane per fork,
+// restored from the parent's snapshot — so the digest covers the driver's
+// candidate enumeration, the ensemble draw from its private RNG, and the
+// minimax verdict feeding back into the live journal. Any fork whose
+// outcome depended on heap layout or ambient state would flip the parent's
+// decision stream and diverge here.
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeWhatif(std::uint64_t seed) {
+  bench::WhatifConfig cfg;
+  cfg.seed = seed;
+  cfg.linkDegrades = 2;
+  cfg.withDriver = true;
+  cfg.driver.budget.maxForks = 4;
+  cfg.driver.budget.pessimisticFutures = 1;
+  return bench::runWhatifScenario(cfg).digest;
+}
+
+// ---------------------------------------------------------------------------
 
 struct Probe {
   const char* name;
@@ -470,15 +492,18 @@ constexpr Probe kProbes[] = {
     {"integrity-qr", probeIntegrity, 21, false},
     {"thrash-governed", probeThrash, 31, false},
     {"tenant-overload", probeTenant, 41, true},
+    {"whatif-forked", probeWhatif, 51, false},
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
+  grads::bench::CliOptions cli;
+  if (!grads::bench::parseCli(argc, argv, cli,
+                              "determinism_probe [--quick]")) {
+    return 2;
   }
+  const bool quick = cli.quick;
 
   std::cout << "replay-divergence oracle: each scenario runs twice with a "
                "fresh engine;\ndigests must match bit-for-bit.\n\n";

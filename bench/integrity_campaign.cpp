@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_cli.hpp"
 #include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
@@ -201,14 +202,17 @@ void zombieDemo(bool fence) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  grads::bench::CliOptions cli;
+  if (!grads::bench::parseCli(argc, argv, cli, "integrity_campaign [1..5]")) {
+    return 1;
+  }
   std::vector<std::uint64_t> seeds = {11, 22, 33, 44, 55};
-  if (argc > 1) {
-    const int n = std::atoi(argv[1]);
-    if (n < 1 || n > static_cast<int>(seeds.size())) {
+  if (cli.count >= 0) {
+    if (cli.count < 1 || cli.count > static_cast<long long>(seeds.size())) {
       std::cerr << "usage: integrity_campaign [1.." << seeds.size() << "]\n";
       return 1;
     }
-    seeds.resize(static_cast<std::size_t>(n));
+    seeds.resize(static_cast<std::size_t>(cli.count));
   }
 
   // Determinism: the same seed must reproduce the identical run.

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_cli.hpp"
 #include "bench_paths.hpp"
 #include "grid/testbeds.hpp"
 #include "services/gis.hpp"
@@ -276,23 +277,15 @@ int checkAgainst(const Report& measured, const std::string& committedPath) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string outPath;
-  std::string checkPath;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      outPath = argv[++i];
-    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
-      checkPath = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: perf_harness [--quick] [--out FILE] [--check "
-                   "FILE]\n");
-      return 2;
-    }
+  grads::bench::CliOptions cli;
+  if (!grads::bench::parseCli(
+          argc, argv, cli,
+          "perf_harness [--quick] [--out FILE] [--check FILE]")) {
+    return 2;
   }
+  const bool quick = cli.quick;
+  std::string outPath = cli.out;
+  const std::string checkPath = cli.check;
   if (outPath.empty()) outPath = bench::outputPath("BENCH_4.json");
 
   const int reps = quick ? 3 : 7;

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_cli.hpp"
 #include "bench_paths.hpp"
 #include "core/app_manager.hpp"
 #include "grid/testbeds.hpp"
@@ -296,10 +297,11 @@ void check(bool ok, const std::string& what) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") quick = true;
+  grads::bench::CliOptions cli;
+  if (!grads::bench::parseCli(argc, argv, cli, "tenant_campaign [--quick]")) {
+    return 2;
   }
+  const bool quick = cli.quick;
   const CampaignConfig cfg = quick ? quickConfig() : fullConfig();
   const std::int64_t minPeakInSystem = quick ? 300 : 10000;
 

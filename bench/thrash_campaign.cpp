@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_cli.hpp"
 #include "bench_paths.hpp"
 #include "apps/qr.hpp"
 #include "core/app_manager.hpp"
@@ -284,7 +285,11 @@ FaultOutcome runMidActionFault(std::uint64_t seed, bool killTarget) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int nSeeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  grads::bench::CliOptions cli;
+  if (!grads::bench::parseCli(argc, argv, cli, "thrash_campaign [N]")) {
+    return 2;
+  }
+  const int nSeeds = cli.count >= 0 ? static_cast<int>(cli.count) : 3;
   std::vector<std::uint64_t> seeds;
   for (int i = 0; i < nSeeds; ++i) seeds.push_back(17 + 10 * i);
 

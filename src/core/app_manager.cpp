@@ -5,6 +5,7 @@
 #include <set>
 
 #include "reschedule/scrubber.hpp"
+#include "reschedule/whatif/fork_driver.hpp"
 #include "sim/sync.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -55,12 +56,13 @@ void AppManager::scheduleSnapshotTick(double periodSec) {
   });
 }
 
-void AppManager::restoreFrom(const core::SnapshotImage& image) {
-  GRADS_REQUIRE(!restoredOnce_,
+void AppManager::restoreFrom(const core::SnapshotImage& image,
+                             RestoreKind kind) {
+  GRADS_REQUIRE(kind == RestoreKind::kSandbox || !restoredOnce_,
                 "AppManager::restoreFrom: this manager already restored "
                 "once; a second restore would fork live state from the image");
   registry_.restore(image);
-  restoredOnce_ = true;
+  if (kind == RestoreKind::kLive) restoredOnce_ = true;
 }
 
 bool AppManager::hasResumeState(const std::string& app) const {
@@ -312,6 +314,31 @@ sim::Task AppManager::run(const Cop& cop,
       }
     }
     rollbackToPrior = false;
+    if (mapping.empty() && journal != nullptr) {
+      if (const auto* rec = journal->openAction(cop.name);
+          rec != nullptr && rec->pinned && !rec->target.empty()) {
+        // A validated decision (what-if fork verdict or sandbox candidate
+        // injection) pinned this action's target: launch exactly what the
+        // forks validated instead of re-running selection — unless a pinned
+        // node has since gone dark, in which case the pin is void and the
+        // mapper chooses fresh.
+        bool pinnedUp = true;
+        for (const auto n : rec->target) {
+          pinnedUp = pinnedUp && gis_->isNodeReachable(n);
+        }
+        if (pinnedUp) {
+          mapping = rec->target;
+          GRADS_INFO("app-manager")
+              << log::appAt(cop.name, eng.now())
+              << "pinned action #" << rec->id << ": launching on validated "
+              << "target (" << mapping.size() << " ranks)";
+        } else {
+          GRADS_WARN("app-manager")
+              << log::appAt(cop.name, eng.now()) << "pinned action #"
+              << rec->id << " target lost a node; remapping from scratch";
+        }
+      }
+    }
     if (mapping.empty()) mapping = cop.mapper->chooseMapping(available, nws_);
     GRADS_REQUIRE(!mapping.empty(), "AppManager: empty mapping");
     breakdown.perfModeling.push_back(eng.now() - t0);
@@ -628,6 +655,14 @@ sim::Task AppManager::run(const Cop& cop,
         journal->rolledBackFor(cop.name) - baseRolledBack;
     breakdown.actionsOpened =
         breakdown.actionsCommitted + breakdown.actionsRolledBack;
+  }
+  if (rescheduler != nullptr && rescheduler->forkDriver() != nullptr) {
+    const auto& ws = rescheduler->forkDriver()->stats();
+    breakdown.whatifDecisions = ws.decisions;
+    breakdown.whatifForks = ws.forksRun;
+    breakdown.whatifFallbacks = ws.fallbacks;
+    breakdown.whatifOverrides = ws.overrides;
+    breakdown.whatifDivergences = ws.divergences;
   }
   breakdown.totalSeconds = eng.now() - runStart;
   if (out != nullptr) *out = std::move(breakdown);

@@ -125,6 +125,13 @@ struct RunBreakdown {
   int admissionSheds = 0;      ///< admission-controller rejections of this app
   int preemptParks = 0;        ///< checkpoint-and-park cycles forced on this app
   int brownoutDeferrals = 0;   ///< dispatch opportunities lost to brownout
+  // --- What-if forked rescheduling (driver-wide totals at run end; the
+  // --- driver is shared across apps, so these are control-plane gauges).
+  int whatifDecisions = 0;     ///< governed violations routed through forks
+  int whatifForks = 0;         ///< sandboxed futures executed
+  int whatifFallbacks = 0;     ///< decisions degraded to the model-only path
+  int whatifOverrides = 0;     ///< fork verdicts contradicting the model
+  int whatifDivergences = 0;   ///< realized outcomes defying the prediction
   /// Background daemons re-armed for this app after a control-plane restart
   /// (scrubber tick chain, contract-monitor listener). Each re-arms exactly
   /// once per restore — the arm-once guards make a double restore protocol
@@ -187,13 +194,22 @@ class AppManager : public core::Snapshottable {
   bool snapshotDaemonArmed() const { return snapshotArmed_; }
   std::size_t snapshotsTaken() const { return snapshotsTaken_; }
 
+  /// Who a restore is for. The live control plane restores exactly once — a
+  /// second restore would silently fork live state from the image. Sandbox
+  /// control planes (the what-if fork driver's ephemeral futures) restore
+  /// the *same* image onto many fresh worlds; each sandbox manager is still
+  /// a new object, but the kind documents intent and lets one manager host
+  /// repeated speculative restores without loosening the live guard.
+  enum class RestoreKind { kLive, kSandbox };
+
   /// Restores every registered component from the image. Must run on a
   /// freshly rebuilt control plane, at the image's simulation time, before
   /// any application is (re)launched: decoding leaves per-app resume
-  /// records that the next run() of each app adopts. Guarded: a second
-  /// restore on the same manager throws (live state would silently fork
-  /// from the image).
-  void restoreFrom(const core::SnapshotImage& image);
+  /// records that the next run() of each app adopts. Guarded for kLive: a
+  /// second live restore on the same manager throws (live state would
+  /// silently fork from the image); kSandbox restores repeat freely.
+  void restoreFrom(const core::SnapshotImage& image,
+                   RestoreKind kind = RestoreKind::kLive);
 
   /// True if a decoded resume record is waiting for this app's relaunch.
   bool hasResumeState(const std::string& app) const;

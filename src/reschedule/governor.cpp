@@ -60,6 +60,9 @@ GovernorVerdict ViolationGovernor::admit(
 
   GovernorVerdict verdict = GovernorVerdict::kAdmit;
   const double cooldownAnchor = journal_->lastResolvedAt(report.app);
+  const double extraCooldown =
+      cooldownExtra_ ? cooldownExtra_(report.app) : 0.0;
+  bool mistrustHold = false;
   if (static_cast<int>(phases.size()) < opts_.quorumK) {
     verdict = GovernorVerdict::kQuorumPending;
   } else if (report.upperTolerance > 0.0 &&
@@ -67,14 +70,20 @@ GovernorVerdict ViolationGovernor::admit(
                  report.upperTolerance * (1.0 + opts_.hysteresisBand)) {
     verdict = GovernorVerdict::kInsideHysteresis;
   } else if (cooldownAnchor >= 0.0 &&
-             engine_->now() - cooldownAnchor < opts_.cooldownSec) {
+             engine_->now() - cooldownAnchor <
+                 opts_.cooldownSec + extraCooldown) {
     verdict = GovernorVerdict::kCoolingDown;
+    mistrustHold = engine_->now() - cooldownAnchor >= opts_.cooldownSec;
   } else if (journal_->inFlight() >= opts_.maxConcurrentActions) {
     verdict = GovernorVerdict::kConcurrencyLimited;
   }
 
   count(total_, verdict);
   count(perApp_[report.app], verdict);
+  if (mistrustHold) {
+    ++total_.mistrustHolds;
+    ++perApp_[report.app].mistrustHolds;
+  }
   if (verdict == GovernorVerdict::kAdmit) {
     GRADS_INFO("governor") << log::appAt(report.app, engine_->now())
                            << "violation at phase " << report.phase
@@ -109,6 +118,7 @@ void encodeStats(core::SnapshotWriter& w,
   w.putI64(s.insideHysteresis);
   w.putI64(s.coolingDown);
   w.putI64(s.concurrencyLimited);
+  w.putI64(s.mistrustHolds);
 }
 
 ViolationGovernor::Stats decodeStats(core::SnapshotReader& r) {
@@ -118,6 +128,7 @@ ViolationGovernor::Stats decodeStats(core::SnapshotReader& r) {
   s.insideHysteresis = static_cast<int>(r.getI64());
   s.coolingDown = static_cast<int>(r.getI64());
   s.concurrencyLimited = static_cast<int>(r.getI64());
+  s.mistrustHolds = static_cast<int>(r.getI64());
   return s;
 }
 

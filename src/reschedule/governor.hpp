@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -63,6 +64,7 @@ class ViolationGovernor : public core::Snapshottable {
   const char* snapshotSection() const override {
     return "reschedule.governor";
   }
+  std::uint32_t snapshotVersion() const override { return 2; }  // + holds
   void encodeState(core::SnapshotWriter& w) const override;
   void decodeState(core::SnapshotReader& r) override;
 
@@ -83,6 +85,11 @@ class ViolationGovernor : public core::Snapshottable {
     int insideHysteresis = 0;
     int coolingDown = 0;
     int concurrencyLimited = 0;
+    /// Suppressions where the base cooldown had already lapsed but the
+    /// mistrust-extended window (setCooldownExtra) still held the app. A
+    /// subset of coolingDown, not an extra verdict — suppressed() is
+    /// unchanged.
+    int mistrustHolds = 0;
     int suppressed() const {
       return quorumPending + insideHysteresis + coolingDown +
              concurrencyLimited;
@@ -92,6 +99,15 @@ class ViolationGovernor : public core::Snapshottable {
   Stats statsFor(const std::string& app) const;
 
   const GovernorOptions& options() const { return opts_; }
+
+  /// Per-app cooldown extension hook (seconds on top of cooldownSec). The
+  /// what-if fork driver wires its prediction-divergence mistrust ledger in
+  /// here, so resources that defied validated predictions earn longer holds.
+  /// Must be a pure function of app identity and caller state — it is
+  /// consulted, not snapshotted.
+  void setCooldownExtra(std::function<double(const std::string&)> fn) {
+    cooldownExtra_ = std::move(fn);
+  }
 
  private:
   void count(Stats& s, GovernorVerdict verdict) const;
@@ -104,6 +120,7 @@ class ViolationGovernor : public core::Snapshottable {
   std::map<std::string, std::deque<std::size_t>> violatingPhases_;
   Stats total_;
   std::map<std::string, Stats> perApp_;
+  std::function<double(const std::string&)> cooldownExtra_;
 };
 
 }  // namespace grads::reschedule

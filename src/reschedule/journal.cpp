@@ -30,9 +30,12 @@ ActionJournal::ActionJournal(sim::Engine& engine) : engine_(&engine) {}
 
 int ActionJournal::open(const std::string& app, ActionKind kind,
                         std::vector<grid::NodeId> prior,
-                        std::vector<grid::NodeId> target) {
+                        std::vector<grid::NodeId> target, bool pinned,
+                        const std::string& note) {
   GRADS_REQUIRE(openByApp_.count(app) == 0,
                 "ActionJournal::open: app already has an action in flight");
+  GRADS_REQUIRE(!pinned || !target.empty(),
+                "ActionJournal::open: pinned action needs a target");
   ActionRecord r;
   r.id = static_cast<int>(records_.size()) + 1;
   r.app = app;
@@ -41,6 +44,8 @@ int ActionJournal::open(const std::string& app, ActionKind kind,
   r.openedAt = engine_->now();
   r.prior = std::move(prior);
   r.target = std::move(target);
+  r.pinned = pinned;
+  r.note = note;
   records_.push_back(std::move(r));
   openByApp_[app] = records_.back().id;
   ++inFlight_;
@@ -86,7 +91,9 @@ void ActionJournal::resolve(ActionRecord& r, ActionState state,
                 "ActionJournal: action already resolved");
   r.state = state;
   r.resolvedAt = engine_->now();
-  r.note = note;
+  // A prepare-time note (the what-if decision summary) survives a noteless
+  // resolve; an explicit resolve note still wins.
+  if (!note.empty()) r.note = note;
   openByApp_.erase(r.app);
   lastResolved_[r.app] = r.resolvedAt;
   --inFlight_;
@@ -171,6 +178,7 @@ void ActionJournal::encodeState(core::SnapshotWriter& w) const {
     w.putU64(rec.target.size());
     for (const grid::NodeId id : rec.target) w.putU64(id);
     w.putStr(rec.note);
+    w.putBool(rec.pinned);
   }
   w.putI64(recoveries_);
 }
@@ -200,6 +208,7 @@ void ActionJournal::decodeState(core::SnapshotReader& r) {
       rec.target.push_back(static_cast<grid::NodeId>(r.getU64()));
     }
     rec.note = r.getStr();
+    rec.pinned = r.getBool();
     // Rebuild the derived indexes from the log itself.
     if (rec.state == ActionState::kPrepared ||
         rec.state == ActionState::kCommitting) {

@@ -47,6 +47,10 @@ struct ActionRecord {
   std::vector<grid::NodeId> prior;
   std::vector<grid::NodeId> target;
   std::string note;  ///< commit/rollback reason, for post-mortems
+  /// A pinned target was fixed by a validated decision (what-if fork verdict
+  /// or a sandbox candidate injection): the relaunch honors `target` verbatim
+  /// instead of re-running mapper selection, as long as it stays reachable.
+  bool pinned = false;
 };
 
 /// Persisted journal of rescheduling actions. "Persisted" in the simulation
@@ -68,6 +72,7 @@ class ActionJournal : public core::Snapshottable {
   /// are rebuilt from it on decode, so the image cannot carry an index that
   /// disagrees with its own log.
   const char* snapshotSection() const override { return "reschedule.journal"; }
+  std::uint32_t snapshotVersion() const override { return 2; }  // + pinned
   void encodeState(core::SnapshotWriter& w) const override;
   void decodeState(core::SnapshotReader& r) override;
 
@@ -83,9 +88,13 @@ class ActionJournal : public core::Snapshottable {
   int recoveries() const { return recoveries_; }
 
   /// Opens a record in kPrepared. Throws if the app already has one open.
+  /// `pinned` marks `target` as a validated-decision pin (see ActionRecord);
+  /// `note` seeds the audit note at prepare time (e.g. the what-if decision
+  /// summary) and survives a commit that passes no note of its own.
   int open(const std::string& app, ActionKind kind,
            std::vector<grid::NodeId> prior,
-           std::vector<grid::NodeId> target = {});
+           std::vector<grid::NodeId> target = {}, bool pinned = false,
+           const std::string& note = "");
 
   /// Updates the intended post-action mapping (commit-phase selection may
   /// revise the prepare-time candidate once fresh NWS data is in).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "reschedule/whatif/fork_driver.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -83,6 +84,36 @@ autopilot::RescheduleOutcome StopRestartRescheduler::onViolation(
       << "s new=" << d.remainingOnTargetSec << "s +"
       << d.assumedMigrationCostSec << "s)";
   decisions_.push_back(d);
+  if (forkDriver_ != nullptr) {
+    // Realized-outcome feedback first: this confirmed violation settles any
+    // pending prediction for the app (a promised-clean horizon that still
+    // violated is a divergence and feeds the mistrust ledger).
+    forkDriver_->noteViolation(cop.name, now);
+    whatif::ForkDriver::DecisionInput in;
+    in.app = cop.name;
+    in.current = current;
+    in.phase = phase;
+    in.modelWantedMigrate = d.migrate;
+    in.modelTarget = d.target;
+    in.alternateTarget = alternateTarget(cop, current, d.target);
+    const whatif::ForkDriver::Decision verdict = forkDriver_->decide(in);
+    if (verdict.fromForks) {
+      if (verdict.kind == whatif::CandidateKind::kSuppress ||
+          verdict.target == current) {
+        // Validated stay: the fork ensemble showed staying put dominates, so
+        // decline (which widens tolerances) exactly as a model "stay" would.
+        return autopilot::RescheduleOutcome::kDeclined;
+      }
+      if (journal_ != nullptr) {
+        journal_->open(cop.name, ActionKind::kMigrate, current, verdict.target,
+                       /*pinned=*/true, verdict.summary);
+      }
+      rss.requestStop();
+      return autopilot::RescheduleOutcome::kMigrated;
+    }
+    // Driver fell back (budget / not armed): the model decision below
+    // commits unvalidated, exactly as without a driver.
+  }
   if (!d.migrate) return autopilot::RescheduleOutcome::kDeclined;
   if (journal_ != nullptr) {
     // Prepare phase: journal the intent (with the rollback mapping) before
@@ -92,6 +123,21 @@ autopilot::RescheduleOutcome StopRestartRescheduler::onViolation(
   }
   rss.requestStop();
   return autopilot::RescheduleOutcome::kMigrated;
+}
+
+std::vector<grid::NodeId> StopRestartRescheduler::alternateTarget(
+    const core::Cop& cop, const std::vector<grid::NodeId>& current,
+    const std::vector<grid::NodeId>& primary) const {
+  const std::vector<grid::NodeId>& exclude =
+      primary.empty() ? current : primary;
+  std::vector<grid::NodeId> pool;
+  for (const grid::NodeId n : gis_->availableNodes()) {
+    if (std::find(exclude.begin(), exclude.end(), n) == exclude.end()) {
+      pool.push_back(n);
+    }
+  }
+  if (pool.empty()) return {};
+  return cop.mapper->chooseMapping(pool, nws_);
 }
 
 void StopRestartRescheduler::registerRunning(const std::string& name,

@@ -14,6 +14,10 @@
 
 namespace grads::reschedule {
 
+namespace whatif {
+class ForkDriver;
+}
+
 /// Operating modes (paper §4.1.2): default lets the cost model decide;
 /// forced modes pin the choice so both scenarios can be measured ("the
 /// rescheduler was operated in two modes — default and forced").
@@ -91,10 +95,27 @@ class StopRestartRescheduler {
   void setJournal(ActionJournal* journal) { journal_ = journal; }
   ActionJournal* journal() const { return journal_; }
 
+  /// When set, every governed violation is routed through the what-if fork
+  /// driver: the model decision becomes one candidate among several, each
+  /// validated in sandboxed futures before anything is committed. The fork
+  /// verdict commits through the journal as a *pinned* action; a driver
+  /// fallback (budget, no runner) degrades to the model-only path below.
+  void setForkDriver(whatif::ForkDriver* driver) { forkDriver_ = driver; }
+  whatif::ForkDriver* forkDriver() const { return forkDriver_; }
+
  private:
+  /// Second-best migrate destination, distinct from `primary`: re-runs the
+  /// COP's mapper over the available pool minus primary's nodes. Empty when
+  /// no distinct alternative exists — the fork driver then races only
+  /// model-target vs suppress.
+  std::vector<grid::NodeId> alternateTarget(
+      const core::Cop& cop, const std::vector<grid::NodeId>& current,
+      const std::vector<grid::NodeId>& primary) const;
+
   const services::Gis* gis_;
   const services::Nws* nws_;
   ActionJournal* journal_ = nullptr;
+  whatif::ForkDriver* forkDriver_ = nullptr;
   ReschedulerOptions opts_;
   std::map<std::string, RunningApp> running_;
   std::vector<MigrationDecision> decisions_;

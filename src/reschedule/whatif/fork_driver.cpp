@@ -1,0 +1,508 @@
+#include "reschedule/whatif/fork_driver.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace grads::reschedule::whatif {
+
+const char* candidateKindName(CandidateKind kind) {
+  switch (kind) {
+    case CandidateKind::kSuppress: return "suppress";
+    case CandidateKind::kMigrate: return "migrate";
+    case CandidateKind::kSwap: return "swap";
+  }
+  return "?";
+}
+
+const char* perturbationKindName(PerturbationKind kind) {
+  switch (kind) {
+    case PerturbationKind::kNone: return "nominal";
+    case PerturbationKind::kTargetSlowdown: return "target-slowdown";
+    case PerturbationKind::kLinkDegrade: return "link-degrade";
+    case PerturbationKind::kDepotOutage: return "depot-outage";
+  }
+  return "?";
+}
+
+ForkDriver::ForkDriver(sim::Engine& engine, DriverOptions options)
+    : engine_(&engine), opts_(options), rng_(options.seed) {
+  GRADS_REQUIRE(opts_.budget.maxForks >= 0,
+                "ForkDriver: negative fork budget");
+  GRADS_REQUIRE(opts_.budget.horizonSec > 0.0,
+                "ForkDriver: non-positive horizon");
+  GRADS_REQUIRE(opts_.budget.pessimisticFutures >= 0,
+                "ForkDriver: negative future count");
+  GRADS_REQUIRE(opts_.mistrustDecay >= 0.0 && opts_.mistrustDecay <= 1.0,
+                "ForkDriver: mistrust decay must be in [0,1]");
+}
+
+double ForkDriver::harmOf(const ForkOutcome& o) const {
+  double harm = static_cast<double>(o.violationRecurrences) +
+                opts_.migrateBackWeight * static_cast<double>(o.migrateBacks);
+  if (o.aborted) harm += opts_.abortPenalty;
+  return harm;
+}
+
+std::vector<Candidate> ForkDriver::buildCandidates(
+    const DecisionInput& in) const {
+  std::vector<Candidate> cands;
+  cands.push_back({CandidateKind::kSuppress, {}, "suppress"});
+  if (in.modelWantedMigrate && !in.modelTarget.empty() &&
+      in.modelTarget != in.current) {
+    cands.push_back({CandidateKind::kMigrate, in.modelTarget, "model-target"});
+  }
+  if (!in.alternateTarget.empty() && in.alternateTarget != in.current &&
+      in.alternateTarget != in.modelTarget) {
+    cands.push_back({CandidateKind::kMigrate, in.alternateTarget, "alternate"});
+  }
+  return cands;
+}
+
+std::vector<Perturbation> ForkDriver::drawFutures() {
+  std::vector<Perturbation> futures;
+  futures.push_back({PerturbationKind::kNone, 0, 0.0});
+  constexpr PerturbationKind kKinds[] = {PerturbationKind::kTargetSlowdown,
+                                         PerturbationKind::kLinkDegrade,
+                                         PerturbationKind::kDepotOutage};
+  for (int i = 0; i < opts_.budget.pessimisticFutures; ++i) {
+    Perturbation p;
+    p.kind = kKinds[static_cast<std::size_t>(i) % std::size(kKinds)];
+    p.seed = rng_.next();
+    switch (p.kind) {
+      case PerturbationKind::kTargetSlowdown:
+        p.severity =
+            rng_.uniform(opts_.slowdownSeverityMin, opts_.slowdownSeverityMax);
+        break;
+      case PerturbationKind::kLinkDegrade:
+        p.severity = rng_.uniform(opts_.degradeScaleMin, opts_.degradeScaleMax);
+        break;
+      case PerturbationKind::kDepotOutage:
+        p.severity =
+            rng_.uniform(opts_.depotOutageSecMin, opts_.depotOutageSecMax);
+        break;
+      case PerturbationKind::kNone: break;
+    }
+    futures.push_back(p);
+  }
+  return futures;
+}
+
+ForkDriver::Decision ForkDriver::fallback(DecisionRecord rec,
+                                          const DecisionInput& in,
+                                          const std::string& why) {
+  ++stats_.fallbacks;
+  rec.chosen = -1;
+  rec.fallbackReason = why;
+  log_.push_back(std::move(rec));
+  Decision d;
+  d.fromForks = false;
+  d.recordId = log_.back().id;
+  d.kind = in.modelWantedMigrate ? CandidateKind::kMigrate
+                                 : CandidateKind::kSuppress;
+  d.target = in.modelTarget;
+  d.summary = "whatif fallback: " + why;
+  GRADS_INFO("whatif") << log::appAt(in.app, engine_->now())
+                       << "decision #" << d.recordId
+                       << " degraded to model-only (" << why << ")";
+  return d;
+}
+
+ForkDriver::Decision ForkDriver::decide(const DecisionInput& in) {
+  ++stats_.decisions;
+  // Settle anything already past its horizon before deciding again, so the
+  // mistrust this decision's cooldown extension reads is current.
+  settle(in.app, engine_->now(), false);
+
+  DecisionRecord rec;
+  rec.id = static_cast<int>(log_.size()) + 1;
+  rec.app = in.app;
+  rec.at = engine_->now();
+  rec.phase = in.phase;
+  rec.modelWantedMigrate = in.modelWantedMigrate;
+  rec.modelTarget = in.modelTarget;
+  rec.shadow = opts_.shadowOnly;
+
+  if (!armed()) return fallback(std::move(rec), in, "no sandbox runner");
+  if (onFork_) onFork_("decision");
+
+  std::vector<Candidate> cands = buildCandidates(in);
+  if (cands.size() < 2) {
+    return fallback(std::move(rec), in, "no competing candidates");
+  }
+  // Budget trim degrades gracefully: pessimistic futures are shed first
+  // (keeping the nominal future for every candidate), then speculation is
+  // abandoned entirely.
+  std::vector<Perturbation> futures = drawFutures();
+  while (static_cast<int>(cands.size() * futures.size()) >
+             opts_.budget.maxForks &&
+         futures.size() > 1) {
+    futures.pop_back();
+  }
+  if (static_cast<int>(cands.size() * futures.size()) >
+      opts_.budget.maxForks) {
+    return fallback(std::move(rec), in, "fork budget exhausted");
+  }
+
+  const std::vector<std::uint8_t> image = source_();
+  if (image.empty()) return fallback(std::move(rec), in, "empty snapshot");
+
+  for (const Candidate& cand : cands) {
+    CandidateScore cs;
+    cs.candidate = cand;
+    for (const Perturbation& fut : futures) {
+      if (onFork_) onFork_("fork-start");
+      ForkRequest rq;
+      rq.image = &image;
+      rq.app = in.app;
+      rq.current = in.current;
+      rq.candidate = cand;
+      rq.perturbation = fut;
+      rq.horizonSec = opts_.budget.horizonSec;
+      rq.maxEvents = opts_.budget.maxEventsPerFork;
+      FutureScore fs;
+      fs.perturbation = fut;
+      fs.outcome = runner_(rq);
+      fs.harm = harmOf(fs.outcome);
+      ++stats_.forksRun;
+      if (onFork_) onFork_("fork-done");
+      cs.worstHarm = std::max(cs.worstHarm, fs.harm);
+      cs.worstMakespanSec =
+          std::max(cs.worstMakespanSec, fs.outcome.makespanSec);
+      cs.totalProgressSec += fs.outcome.progressSec;
+      cs.totalCheckpointCostSec += fs.outcome.checkpointCostSec;
+      cs.futures.push_back(std::move(fs));
+    }
+    rec.scores.push_back(std::move(cs));
+  }
+
+  // Minimax with deterministic tie-breaks: least worst-case harm, then least
+  // worst-case makespan, then most realized progress, then least checkpoint
+  // traffic, then candidate order (suppress first — the conservative arm
+  // wins exact ties).
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(rec.scores.size()); ++i) {
+    const CandidateScore& a = rec.scores[static_cast<std::size_t>(i)];
+    const CandidateScore& b = rec.scores[static_cast<std::size_t>(best)];
+    if (a.worstHarm != b.worstHarm) {
+      if (a.worstHarm < b.worstHarm) best = i;
+    } else if (a.worstMakespanSec != b.worstMakespanSec) {
+      if (a.worstMakespanSec < b.worstMakespanSec) best = i;
+    } else if (a.totalProgressSec != b.totalProgressSec) {
+      if (a.totalProgressSec > b.totalProgressSec) best = i;
+    } else if (a.totalCheckpointCostSec < b.totalCheckpointCostSec) {
+      best = i;
+    }
+  }
+  rec.chosen = best;
+  rec.predictedWorstHarm =
+      rec.scores[static_cast<std::size_t>(best)].worstHarm;
+  const Candidate chosen = rec.scores[static_cast<std::size_t>(best)].candidate;
+  log_.push_back(std::move(rec));
+  if (onFork_) onFork_("verdict");
+
+  const bool overrides =
+      (chosen.kind == CandidateKind::kMigrate) != in.modelWantedMigrate ||
+      (chosen.kind == CandidateKind::kMigrate &&
+       chosen.target != in.modelTarget);
+  if (overrides) ++stats_.overrides;
+  if (chosen.kind == CandidateKind::kSuppress) ++stats_.suppressChosen;
+  GRADS_INFO("whatif") << log::appAt(in.app, engine_->now()) << "decision #"
+                       << log_.back().id << ": chose "
+                       << candidateKindName(chosen.kind) << " ("
+                       << chosen.label << "), worst-case harm "
+                       << log_.back().predictedWorstHarm << " across "
+                       << stats_.forksRun << " cumulative forks"
+                       << (opts_.shadowOnly ? " [shadow]" : "")
+                       << (overrides ? " [overrides model]" : "");
+
+  Decision d;
+  d.recordId = log_.back().id;
+  if (opts_.shadowOnly) {
+    // Shadow: record the verdict, commit the model decision, leave the
+    // mistrust ledger untouched — the parent trajectory must stay
+    // bit-identical to a driver-less run.
+    d.fromForks = false;
+    d.kind = in.modelWantedMigrate ? CandidateKind::kMigrate
+                                   : CandidateKind::kSuppress;
+    d.target = in.modelTarget;
+    d.summary = "whatif shadow verdict: " + chosen.label;
+    return d;
+  }
+  d.fromForks = true;
+  d.kind = chosen.kind;
+  d.target = chosen.target;
+  d.summary = "whatif #" + std::to_string(d.recordId) + ": " + chosen.label +
+              " worst-harm=" + std::to_string(log_.back().predictedWorstHarm);
+  Pending p;
+  p.app = in.app;
+  p.recordId = d.recordId;
+  p.expiresAt = engine_->now() + opts_.budget.horizonSec;
+  p.predictedHarm = log_.back().predictedWorstHarm;
+  p.nodes = chosen.kind == CandidateKind::kMigrate ? chosen.target : in.current;
+  lastChosen_[in.app] = p.nodes;
+  pending_.push_back(std::move(p));
+  return d;
+}
+
+void ForkDriver::settle(const std::string& app, double now, bool violated) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->app != app) {
+      ++it;
+      continue;
+    }
+    if (violated && now <= it->expiresAt) {
+      // A confirmed violation landed inside the prediction window. If the
+      // fork ensemble promised a clean future, reality diverged: distrust
+      // the nodes the chosen arm bet on.
+      if (it->predictedHarm <= 0.0) {
+        ++stats_.divergences;
+        if (it->recordId >= 1 &&
+            it->recordId <= static_cast<int>(log_.size())) {
+          log_[static_cast<std::size_t>(it->recordId) - 1].diverged = true;
+        }
+        for (const grid::NodeId n : it->nodes) {
+          mistrust_[n] += opts_.mistrustBump;
+        }
+        GRADS_INFO("whatif")
+            << log::appAt(app, now) << "prediction #" << it->recordId
+            << " diverged (violation inside horizon); mistrust bumped on "
+            << it->nodes.size() << " node(s)";
+      }
+      if (it->recordId >= 1 && it->recordId <= static_cast<int>(log_.size())) {
+        log_[static_cast<std::size_t>(it->recordId) - 1].settled = true;
+      }
+      it = pending_.erase(it);
+      continue;
+    }
+    if (now > it->expiresAt) {
+      // The window closed clean: the prediction held, so the chosen nodes
+      // earn trust back.
+      for (const grid::NodeId n : it->nodes) {
+        auto mit = mistrust_.find(n);
+        if (mit != mistrust_.end()) {
+          mit->second *= opts_.mistrustDecay;
+          if (mit->second < 1e-9) mistrust_.erase(mit);
+        }
+      }
+      if (it->recordId >= 1 && it->recordId <= static_cast<int>(log_.size())) {
+        log_[static_cast<std::size_t>(it->recordId) - 1].settled = true;
+      }
+      it = pending_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void ForkDriver::noteViolation(const std::string& app, double now) {
+  settle(app, now, true);
+}
+
+double ForkDriver::mistrustOf(grid::NodeId node) const {
+  const auto it = mistrust_.find(node);
+  return it == mistrust_.end() ? 0.0 : it->second;
+}
+
+double ForkDriver::cooldownExtraFor(const std::string& app) const {
+  const auto it = lastChosen_.find(app);
+  if (it == lastChosen_.end() || it->second.empty()) return 0.0;
+  double sum = 0.0;
+  for (const grid::NodeId n : it->second) sum += mistrustOf(n);
+  const double avg = sum / static_cast<double>(it->second.size());
+  return opts_.mistrustCooldownSec * avg;
+}
+
+namespace {
+
+void encodeNodes(core::SnapshotWriter& w, const std::vector<grid::NodeId>& v) {
+  w.putU64(v.size());
+  for (const grid::NodeId n : v) w.putU64(n);
+}
+
+std::vector<grid::NodeId> decodeNodes(core::SnapshotReader& r) {
+  std::vector<grid::NodeId> v;
+  const std::uint64_t n = r.getU64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<grid::NodeId>(r.getU64()));
+  }
+  return v;
+}
+
+void encodeOutcome(core::SnapshotWriter& w, const ForkOutcome& o) {
+  w.putBool(o.aborted);
+  w.putBool(o.completed);
+  w.putF64(o.makespanSec);
+  w.putF64(o.progressSec);
+  w.putF64(o.checkpointCostSec);
+  w.putI64(o.violationRecurrences);
+  w.putI64(o.migrateBacks);
+  w.putU64(o.events);
+  w.putU64(o.forkDigest);
+}
+
+ForkOutcome decodeOutcome(core::SnapshotReader& r) {
+  ForkOutcome o;
+  o.aborted = r.getBool();
+  o.completed = r.getBool();
+  o.makespanSec = r.getF64();
+  o.progressSec = r.getF64();
+  o.checkpointCostSec = r.getF64();
+  o.violationRecurrences = static_cast<int>(r.getI64());
+  o.migrateBacks = static_cast<int>(r.getI64());
+  o.events = r.getU64();
+  o.forkDigest = r.getU64();
+  return o;
+}
+
+}  // namespace
+
+void ForkDriver::encodeState(core::SnapshotWriter& w) const {
+  w.putU64(log_.size());
+  for (const DecisionRecord& rec : log_) {
+    w.putStr(rec.app);
+    w.putF64(rec.at);
+    w.putU64(rec.phase);
+    w.putBool(rec.modelWantedMigrate);
+    encodeNodes(w, rec.modelTarget);
+    w.putU64(rec.scores.size());
+    for (const CandidateScore& cs : rec.scores) {
+      w.putU64(static_cast<std::uint64_t>(cs.candidate.kind));
+      encodeNodes(w, cs.candidate.target);
+      w.putStr(cs.candidate.label);
+      w.putU64(cs.futures.size());
+      for (const FutureScore& fs : cs.futures) {
+        w.putU64(static_cast<std::uint64_t>(fs.perturbation.kind));
+        w.putU64(fs.perturbation.seed);
+        w.putF64(fs.perturbation.severity);
+        encodeOutcome(w, fs.outcome);
+        w.putF64(fs.harm);
+      }
+      w.putF64(cs.worstHarm);
+      w.putF64(cs.worstMakespanSec);
+      w.putF64(cs.totalProgressSec);
+      w.putF64(cs.totalCheckpointCostSec);
+    }
+    w.putI64(rec.chosen);
+    w.putStr(rec.fallbackReason);
+    w.putBool(rec.shadow);
+    w.putF64(rec.predictedWorstHarm);
+    w.putBool(rec.settled);
+    w.putBool(rec.diverged);
+  }
+  w.putU64(mistrust_.size());
+  for (const auto& [node, value] : mistrust_) {
+    w.putU64(node);
+    w.putF64(value);
+  }
+  w.putU64(pending_.size());
+  for (const Pending& p : pending_) {
+    w.putStr(p.app);
+    w.putI64(p.recordId);
+    w.putF64(p.expiresAt);
+    w.putF64(p.predictedHarm);
+    encodeNodes(w, p.nodes);
+  }
+  w.putU64(lastChosen_.size());
+  for (const auto& [app, nodes] : lastChosen_) {
+    w.putStr(app);
+    encodeNodes(w, nodes);
+  }
+  w.putI64(stats_.decisions);
+  w.putI64(stats_.forksRun);
+  w.putI64(stats_.fallbacks);
+  w.putI64(stats_.overrides);
+  w.putI64(stats_.suppressChosen);
+  w.putI64(stats_.divergences);
+  const RngState rs = rng_.state();
+  w.putU64(rs.s[0]);
+  w.putU64(rs.s[1]);
+  w.putU64(rs.s[2]);
+  w.putU64(rs.s[3]);
+  w.putBool(rs.haveSpare);
+  w.putF64(rs.spare);
+}
+
+void ForkDriver::decodeState(core::SnapshotReader& r) {
+  log_.clear();
+  const std::uint64_t nRecords = r.getU64();
+  for (std::uint64_t i = 0; i < nRecords; ++i) {
+    DecisionRecord rec;
+    rec.id = static_cast<int>(i) + 1;
+    rec.app = r.getStr();
+    rec.at = r.getF64();
+    rec.phase = static_cast<std::size_t>(r.getU64());
+    rec.modelWantedMigrate = r.getBool();
+    rec.modelTarget = decodeNodes(r);
+    const std::uint64_t nScores = r.getU64();
+    for (std::uint64_t j = 0; j < nScores; ++j) {
+      CandidateScore cs;
+      cs.candidate.kind = static_cast<CandidateKind>(r.getU64());
+      cs.candidate.target = decodeNodes(r);
+      cs.candidate.label = r.getStr();
+      const std::uint64_t nFutures = r.getU64();
+      for (std::uint64_t k = 0; k < nFutures; ++k) {
+        FutureScore fs;
+        fs.perturbation.kind = static_cast<PerturbationKind>(r.getU64());
+        fs.perturbation.seed = r.getU64();
+        fs.perturbation.severity = r.getF64();
+        fs.outcome = decodeOutcome(r);
+        fs.harm = r.getF64();
+        cs.futures.push_back(std::move(fs));
+      }
+      cs.worstHarm = r.getF64();
+      cs.worstMakespanSec = r.getF64();
+      cs.totalProgressSec = r.getF64();
+      cs.totalCheckpointCostSec = r.getF64();
+      rec.scores.push_back(std::move(cs));
+    }
+    rec.chosen = static_cast<int>(r.getI64());
+    rec.fallbackReason = r.getStr();
+    rec.shadow = r.getBool();
+    rec.predictedWorstHarm = r.getF64();
+    rec.settled = r.getBool();
+    rec.diverged = r.getBool();
+    log_.push_back(std::move(rec));
+  }
+  mistrust_.clear();
+  const std::uint64_t nMistrust = r.getU64();
+  for (std::uint64_t i = 0; i < nMistrust; ++i) {
+    const grid::NodeId node = static_cast<grid::NodeId>(r.getU64());
+    mistrust_[node] = r.getF64();
+  }
+  pending_.clear();
+  const std::uint64_t nPending = r.getU64();
+  for (std::uint64_t i = 0; i < nPending; ++i) {
+    Pending p;
+    p.app = r.getStr();
+    p.recordId = static_cast<int>(r.getI64());
+    p.expiresAt = r.getF64();
+    p.predictedHarm = r.getF64();
+    p.nodes = decodeNodes(r);
+    pending_.push_back(std::move(p));
+  }
+  lastChosen_.clear();
+  const std::uint64_t nLast = r.getU64();
+  for (std::uint64_t i = 0; i < nLast; ++i) {
+    const std::string app = r.getStr();
+    lastChosen_[app] = decodeNodes(r);
+  }
+  stats_.decisions = static_cast<int>(r.getI64());
+  stats_.forksRun = static_cast<int>(r.getI64());
+  stats_.fallbacks = static_cast<int>(r.getI64());
+  stats_.overrides = static_cast<int>(r.getI64());
+  stats_.suppressChosen = static_cast<int>(r.getI64());
+  stats_.divergences = static_cast<int>(r.getI64());
+  RngState rs;
+  rs.s[0] = r.getU64();
+  rs.s[1] = r.getU64();
+  rs.s[2] = r.getU64();
+  rs.s[3] = r.getU64();
+  rs.haveSpare = r.getBool();
+  rs.spare = r.getF64();
+  rng_.setState(rs);
+}
+
+}  // namespace grads::reschedule::whatif

@@ -92,6 +92,27 @@ TEST(LintR1, StringAndCommentTrap) {
   EXPECT_EQ(countRule(r, "R1"), 0);
 }
 
+TEST(LintR1, ForkTimeoutMustBeAnEventBudgetNotWallClock) {
+  // The what-if fork driver's speculation bound: the classic wall-clock
+  // fork timeout is banned in src/ — a fork that times out by wall clock
+  // commits a different verdict on a loaded CI box than on a fast laptop.
+  const auto bad = lintOne("src/reschedule/whatif/foo.cpp", R"cpp(
+    bool forkExpired(const Fork& f) {
+      const auto started = std::chrono::steady_clock::now();
+      return waited(started) > kForkTimeoutMs;
+    }
+  )cpp");
+  EXPECT_EQ(countRule(bad, "R1"), 1);
+  // The virtual stand-in — a per-fork event cap — is deterministic and
+  // stays silent.
+  const auto good = lintOne("src/reschedule/whatif/foo.cpp", R"cpp(
+    bool forkExpired(const ForkOutcome& o, std::uint64_t maxEvents) {
+      return maxEvents != 0 && o.events >= maxEvents;
+    }
+  )cpp");
+  EXPECT_EQ(countRule(good, "R1"), 0);
+}
+
 TEST(LintR1, Suppressed) {
   const auto r = lintOne("src/core/foo.cpp", R"cpp(
     // grads-lint: allow(R1 calibration-only wall clock, never in decisions)
@@ -442,6 +463,77 @@ TEST(LintR6, TenantLedgerDroppedCounterIsFlagged) {
       admitted = r.getI64();
       slowdowns.resize(r.getU64());
       for (double& s : slowdowns) s = r.getF64();
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 1);
+}
+
+TEST(LintR6, ForkDriverNestedDecisionLogIsSymmetric) {
+  // The fork-driver shape: a length-prefixed decision log with a nested
+  // per-candidate loop, followed by scalar stats and an Rng-state tail.
+  // Per-type call-site counts match, so R6 stays silent.
+  const auto r = lintOne("src/reschedule/whatif/foo.cpp", R"cpp(
+    void Driver::encodeState(core::SnapshotWriter& w) const {
+      w.putU64(log_.size());
+      for (const auto& rec : log_) {
+        w.putStr(rec.app);
+        w.putF64(rec.at);
+        w.putU64(rec.scores.size());
+        for (const auto& cs : rec.scores) {
+          w.putU64(static_cast<std::uint64_t>(cs.kind));
+          w.putF64(cs.worstHarm);
+        }
+        w.putBool(rec.diverged);
+      }
+      w.putI64(stats_.decisions);
+      w.putU64(rngState_);
+    }
+    void Driver::decodeState(core::SnapshotReader& r) {
+      log_.clear();
+      const std::uint64_t n = r.getU64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        Record rec;
+        rec.app = r.getStr();
+        rec.at = r.getF64();
+        const std::uint64_t m = r.getU64();
+        for (std::uint64_t j = 0; j < m; ++j) {
+          Score cs;
+          cs.kind = static_cast<Kind>(r.getU64());
+          cs.worstHarm = r.getF64();
+          rec.scores.push_back(cs);
+        }
+        rec.diverged = r.getBool();
+        log_.push_back(rec);
+      }
+      stats_.decisions = static_cast<int>(r.getI64());
+      rngState_ = r.getU64();
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R6"), 0);
+}
+
+TEST(LintR6, ForkDriverDroppedDivergedFlagIsFlagged) {
+  // Same shape, but decode forgets the per-record diverged bool: every
+  // subsequent record's first word is misread. R6 catches the bool-count
+  // mismatch before the determinism probe has to.
+  const auto r = lintOne("src/reschedule/whatif/foo.cpp", R"cpp(
+    void Driver::encodeState(core::SnapshotWriter& w) const {
+      w.putU64(log_.size());
+      for (const auto& rec : log_) {
+        w.putStr(rec.app);
+        w.putF64(rec.at);
+        w.putBool(rec.diverged);
+      }
+    }
+    void Driver::decodeState(core::SnapshotReader& r) {
+      log_.clear();
+      const std::uint64_t n = r.getU64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        Record rec;
+        rec.app = r.getStr();
+        rec.at = r.getF64();
+        log_.push_back(rec);
+      }
     }
   )cpp");
   EXPECT_EQ(countRule(r, "R6"), 1);

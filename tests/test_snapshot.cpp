@@ -350,6 +350,20 @@ TEST(AppManagerSnapshots, SecondRestoreThrows) {
   EXPECT_THROW(fresh.mgr.restoreFrom(img), Error);
 }
 
+TEST(AppManagerSnapshots, SandboxRestoresRepeatFreely) {
+  ManagerFixture f;
+  const SnapshotImage img = f.mgr.snapshotNow();
+  // Sandbox engines (what-if forks) replay the same image as often as the
+  // speculation budget allows — the once-guard applies to live restores
+  // only, and a history of sandbox restores must not weaken it.
+  ManagerFixture fork;
+  fork.mgr.restoreFrom(img, AppManager::RestoreKind::kSandbox);
+  fork.mgr.restoreFrom(img, AppManager::RestoreKind::kSandbox);
+  fork.mgr.restoreFrom(img, AppManager::RestoreKind::kLive);
+  EXPECT_THROW(fork.mgr.restoreFrom(img, AppManager::RestoreKind::kLive),
+               Error);
+}
+
 TEST(AppManagerSnapshots, CompletedAppsRoundTrip) {
   ManagerFixture f;
   SnapshotWriter w;
