@@ -167,6 +167,14 @@ void buildChaos(World& w, std::uint64_t seed, bool armDaemons) {
   cc.candidateDepots = {depot};
   cc.nwsOutages = 1;
   cc.nwsOutageSec = 300.0;
+  // WAN degrades force the flow registry to re-share mid-flight transfers
+  // (checkpoint pushes, restore reads) across crash/restore boundaries, so
+  // the sweep covers the congestion model's replan chain too.
+  cc.linkDegrades = 2;
+  cc.degradeScale = 0.5;
+  cc.degradeDurationSec = 120.0;
+  cc.candidateLinks = {
+      w.g.route(tb.utkNodes[0], tb.uiucNodes[0]).links[1]};
   w.schedule = reschedule::makeCampaign(cc);
 
   apps::QrConfig cfg;

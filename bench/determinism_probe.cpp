@@ -477,6 +477,55 @@ std::uint64_t probeWhatif(std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
+// Probe 8: contended flow-level network model (PR 9 machinery). A seeded
+// burst of overlapping transfers — mixed bulk/interactive classes, random
+// sizes and start times, a mid-flight WAN degrade and recovery — exercises
+// the max-min water-fill, the pacing weights, and the arrival/departure
+// re-solve chain. Every solve iterates flows in submission order; any
+// address-dependent tie-break in the allocator would reorder completions
+// and diverge here.
+// ---------------------------------------------------------------------------
+
+std::uint64_t probeNetsim(std::uint64_t seed) {
+  sim::Engine eng;
+  util::DigestStream ds;
+  observe(eng, ds);
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  Rng rng(seed);
+
+  for (int i = 0; i < 40; ++i) {
+    const double at = rng.uniform() * 30.0;
+    const double bytes = (0.1 + rng.uniform() * 2.0) * kMB;
+    const auto cls = rng.uniform() < 0.4 ? grid::TransferClass::kBulk
+                                         : grid::TransferClass::kInteractive;
+    const auto src = tb.utkNodes[static_cast<std::size_t>(
+        rng.uniformInt(0, 3))];
+    const auto dst = tb.uiucNodes[static_cast<std::size_t>(
+        rng.uniformInt(0, 7))];
+    eng.schedule(at, [&g, src, dst, bytes, cls] {
+      g.engine().spawn(
+          [](grid::Grid* grid, grid::NodeId a, grid::NodeId b, double n,
+             grid::TransferClass c) -> sim::Task {
+            co_await grid->transfer(a, b, n, c);
+          }(&g, src, dst, bytes, cls),
+          "netsim-flow");
+    });
+  }
+  const grid::LinkId wan = g.route(tb.utkNodes[0], tb.uiucNodes[0]).links[1];
+  eng.schedule(10.0, [&g, wan] { g.link(wan).setBandwidthScale(0.25); });
+  eng.schedule(20.0, [&g, wan] { g.link(wan).setBandwidthScale(1.0); });
+  eng.run();
+  eng.rethrowIfFailed();
+  ds.put(g.flows().flowsCompleted());
+  ds.put(g.flows().bytesCompleted());
+  ds.put(g.flows().solves());
+  ds.put(g.flows().peakConcurrentFlows());
+  ds.put(static_cast<std::uint64_t>(eng.processedEvents()));
+  return ds.digest();
+}
+
+// ---------------------------------------------------------------------------
 
 struct Probe {
   const char* name;
@@ -493,6 +542,7 @@ constexpr Probe kProbes[] = {
     {"thrash-governed", probeThrash, 31, false},
     {"tenant-overload", probeTenant, 41, true},
     {"whatif-forked", probeWhatif, 51, false},
+    {"netsim-contended", probeNetsim, 61, true},
 };
 
 }  // namespace

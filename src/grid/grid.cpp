@@ -3,39 +3,39 @@
 #include <algorithm>
 #include <deque>
 
-#include "sim/sync.hpp"
 #include "util/error.hpp"
 
 namespace grads::grid {
 
-Link::Link(sim::Engine& engine, LinkId id, LinkSpec spec)
-    : id_(id), spec_(std::move(spec)) {
+Link::Link(FlowRegistry& flows, LinkId id, LinkSpec spec)
+    : id_(id), spec_(std::move(spec)), flows_(&flows) {
   GRADS_REQUIRE(spec_.latencySec >= 0.0, "Link: negative latency");
   GRADS_REQUIRE(spec_.bandwidthBytesPerSec > 0.0, "Link: bandwidth must be > 0");
-  bw_ = std::make_unique<sim::PsResource>(engine, spec_.bandwidthBytesPerSec,
-                                          spec_.perFlowCapBytesPerSec,
-                                          spec_.name + ".bw");
+  const LinkId registered =
+      flows_->addLink(spec_.bandwidthBytesPerSec, spec_.perFlowCapBytesPerSec);
+  GRADS_REQUIRE(registered == id_,
+                "Link: registry link id out of step with grid link id");
 }
 
 double Link::availableBandwidth() const {
   if (!up_) return 0.0;
-  const double perFlow = spec_.perFlowCapBytesPerSec;
-  return std::min(perFlow, bw_->capacity() / (bw_->totalWeight() + 1.0));
+  return flows_->probeShare({id_}, 1.0);
 }
 
 void Link::setBandwidthScale(double scale) {
   GRADS_REQUIRE(scale > 0.0 && scale <= 1.0,
                 "Link::setBandwidthScale: scale must be in (0, 1]");
   scale_ = scale;
-  bw_->setCapacity(spec_.bandwidthBytesPerSec * scale);
+  flows_->setLinkCapacity(id_, spec_.bandwidthBytesPerSec * scale);
 }
 
-Grid::Grid(sim::Engine& engine) : engine_(&engine) {}
+Grid::Grid(sim::Engine& engine)
+    : engine_(&engine), flows_(std::make_unique<FlowRegistry>(engine)) {}
 
 ClusterId Grid::addCluster(ClusterSpec spec) {
   const ClusterId id = clusters_.size();
   const LinkId lan = links_.size();
-  links_.push_back(std::make_unique<Link>(*engine_, lan, spec.lan));
+  links_.push_back(std::make_unique<Link>(*flows_, lan, spec.lan));
   clusters_.push_back(Cluster{id, spec.name, spec.site, lan, {}});
   return id;
 }
@@ -54,7 +54,7 @@ LinkId Grid::connectClusters(ClusterId a, ClusterId b, LinkSpec spec) {
                 "connectClusters: unknown cluster");
   GRADS_REQUIRE(a != b, "connectClusters: cannot connect a cluster to itself");
   const LinkId id = links_.size();
-  links_.push_back(std::make_unique<Link>(*engine_, id, std::move(spec)));
+  links_.push_back(std::make_unique<Link>(*flows_, id, std::move(spec)));
   wan_[{std::min(a, b), std::max(a, b)}] = id;
   return id;
 }
@@ -149,6 +149,18 @@ Route Grid::route(NodeId src, NodeId dst) const {
     r.links.push_back(wan_.at(key));
   }
   r.links.push_back(clusters_[cd].lan);
+  // A route must never list the same link twice: its latency would be paid
+  // twice and the flow would contend with itself on the shared segment,
+  // halving effective bandwidth (the intra-cluster double-LAN bug). Dedupe
+  // preserving hop order before summing latency.
+  std::vector<LinkId> unique;
+  unique.reserve(r.links.size());
+  for (const LinkId l : r.links) {
+    if (std::find(unique.begin(), unique.end(), l) == unique.end()) {
+      unique.push_back(l);
+    }
+  }
+  r.links = std::move(unique);
   for (const LinkId l : r.links) r.latencySec += links_[l]->latency();
   return r;
 }
@@ -161,7 +173,8 @@ bool Grid::routeUp(NodeId src, NodeId dst) const {
   return true;
 }
 
-sim::Task Grid::transfer(NodeId src, NodeId dst, double bytes) {
+sim::Task Grid::transfer(NodeId src, NodeId dst, double bytes,
+                         TransferClass cls) {
   GRADS_REQUIRE(bytes >= 0.0, "transfer: negative size");
   const Route r = route(src, dst);
   // Fail fast on a partitioned path: connection setup does not complete, so
@@ -175,17 +188,10 @@ sim::Task Grid::transfer(NodeId src, NodeId dst, double bytes) {
   }
   if (r.latencySec > 0.0) co_await sim::sleepFor(*engine_, r.latencySec);
   if (r.links.empty() || bytes == 0.0) co_return;
-  if (r.links.size() == 1) {
-    co_await links_[r.links[0]]->bandwidth().consume(bytes);
-    co_return;
-  }
-  // Stream through all shared links concurrently; the contended bottleneck
-  // dominates the elapsed time (cut-through rather than store-and-forward).
-  sim::JoinSet js(*engine_);
-  for (const LinkId l : r.links) {
-    js.spawn(links_[l]->bandwidth().consume(bytes));
-  }
-  co_await js.join();
+  // One flow over the whole route: the registry streams it at its max-min
+  // bottleneck share (cut-through rather than store-and-forward) and
+  // re-shares it as competing flows arrive and depart.
+  co_await flows_->transfer(r.links, bytes, cls);
 }
 
 double Grid::transferEstimate(NodeId src, NodeId dst, double bytes) const {
@@ -202,8 +208,13 @@ double Grid::transferEstimate(NodeId src, NodeId dst, double bytes) const {
 double Grid::transferEstimateNow(NodeId src, NodeId dst, double bytes) const {
   const Route r = route(src, dst);
   if (r.links.empty()) return 0.0;
-  double bw = sim::kInfTime;
-  for (const LinkId l : r.links) bw = std::min(bw, links_[l]->availableBandwidth());
+  for (const LinkId l : r.links) {
+    if (!links_[l]->isUp()) return sim::kInfTime;
+  }
+  // Route-level probe, not a per-link minimum: the share a new flow would
+  // actually be allocated, clamped by every link's per-flow cap — on an
+  // idle route this agrees exactly with transferEstimate.
+  const double bw = flows_->probeShare(r.links, 1.0);
   return r.latencySec + bytes / bw;
 }
 
@@ -215,6 +226,7 @@ void Grid::encodeState(core::SnapshotWriter& w) const {
     w.putBool(link->isUp());
     w.putF64(link->bandwidthScale());
   }
+  flows_->encodeState(w);
 }
 
 void Grid::decodeState(core::SnapshotReader& r) {
@@ -231,6 +243,7 @@ void Grid::decodeState(core::SnapshotReader& r) {
     link->setUp(r.getBool());
     link->setBandwidthScale(r.getF64());
   }
+  flows_->decodeState(r);
 }
 
 }  // namespace grads::grid

@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "core/snapshot.hpp"
+#include "grid/flow.hpp"
 #include "grid/node.hpp"
 #include "sim/engine.hpp"
-#include "sim/ps_resource.hpp"
 #include "sim/task.hpp"
 #include "util/error.hpp"
 
@@ -23,10 +23,10 @@ class LinkDownError : public Error {
   explicit LinkDownError(const std::string& what) : Error(what) {}
 };
 
-/// A network link (WAN pipe or cluster switch). Bandwidth is a shared
-/// processor-sharing resource: concurrent flows divide it fairly;
-/// perFlowCap bounds any single flow (a switched LAN gives each pair its own
-/// wire speed even though the backplane is larger).
+/// A network link (WAN pipe or cluster switch). Bandwidth is divided among
+/// the flows crossing the link by the grid's FlowRegistry (weighted max-min
+/// fair shares); perFlowCap bounds any single flow (a switched LAN gives
+/// each pair its own wire speed even though the backplane is larger).
 struct LinkSpec {
   std::string name;
   double latencySec = 0.0;
@@ -36,12 +36,10 @@ struct LinkSpec {
 
 class Link {
  public:
-  Link(sim::Engine& engine, LinkId id, LinkSpec spec);
+  Link(FlowRegistry& flows, LinkId id, LinkSpec spec);
   LinkId id() const { return id_; }
   const LinkSpec& spec() const { return spec_; }
   double latency() const { return spec_.latencySec; }
-  sim::PsResource& bandwidth() { return *bw_; }
-  const sim::PsResource& bandwidth() const { return *bw_; }
   /// Bandwidth a new flow would get right now (bytes/s); 0 while down.
   double availableBandwidth() const;
 
@@ -51,7 +49,8 @@ class Link {
   bool isUp() const { return up_; }
 
   /// Scales deliverable bandwidth to `scale`·nominal (0 < scale <= 1) —
-  /// a congested or flapping WAN path. 1.0 restores the full spec rate.
+  /// a congested or flapping WAN path; every flow sharing the link is
+  /// re-shared at the new capacity. 1.0 restores the full spec rate.
   void setBandwidthScale(double scale);
   double bandwidthScale() const { return scale_; }
 
@@ -60,7 +59,7 @@ class Link {
   LinkSpec spec_;
   bool up_ = true;
   double scale_ = 1.0;
-  std::unique_ptr<sim::PsResource> bw_;
+  FlowRegistry* flows_;
 };
 
 /// Cluster of nodes sharing a LAN switch.
@@ -96,11 +95,13 @@ class Grid : public core::Snapshottable {
 
   /// Snapshot participation. Topology (clusters, nodes, links, specs) is
   /// *configuration*, rebuilt by re-running the scenario's testbed builder;
-  /// the snapshot carries only mutable fabric state (link up/scale) plus
-  /// the topology counts, which decode validates against the rebuilt grid.
-  /// Background CPU load is deliberately excluded: PsResource job lists are
-  /// coroutine-held and are re-armed from their LoadTrace (see
-  /// applyLoadTraceFrom) at restore.
+  /// the snapshot carries only mutable fabric state (link up/scale, flow-
+  /// registry configuration and counters) plus the topology counts, which
+  /// decode validates against the rebuilt grid. Background CPU load is
+  /// deliberately excluded: PsResource job lists are coroutine-held and are
+  /// re-armed from their LoadTrace (see applyLoadTraceFrom) at restore;
+  /// active network flows likewise live in coroutine frames and restart
+  /// from checkpoints.
   const char* snapshotSection() const override { return "grid.fabric"; }
   void encodeState(core::SnapshotWriter& w) const override;
   void decodeState(core::SnapshotReader& r) override;
@@ -132,19 +133,30 @@ class Grid : public core::Snapshottable {
   bool routeUp(NodeId src, NodeId dst) const;
 
   /// Moves `bytes` from src to dst: pays route latency once, then streams
-  /// through every shared link on the path concurrently (the slowest —
-  /// normally the WAN bottleneck — dominates).
-  sim::Task transfer(NodeId src, NodeId dst, double bytes);
+  /// as one flow at the route's max-min bottleneck share, re-solved as
+  /// competing flows come and go. Bulk-class transfers yield bandwidth to
+  /// interactive ones on contended links (FlowRegistry pacing).
+  sim::Task transfer(NodeId src, NodeId dst, double bytes,
+                     TransferClass cls = TransferClass::kInteractive);
 
   /// Uncontended estimate of transfer(src,dst,bytes) in seconds; what a
   /// scheduler computes from NWS forecasts of latency and bandwidth.
   double transferEstimate(NodeId src, NodeId dst, double bytes) const;
 
-  /// Estimate using *currently available* (contended) bandwidth.
+  /// Estimate using the share the flow registry would actually allocate a
+  /// new flow over the route right now (contended bandwidth, clamped by
+  /// every link's per-flow cap). Infinite when the route is partitioned.
   double transferEstimateNow(NodeId src, NodeId dst, double bytes) const;
+
+  /// The flow-level network model behind transfer(): congestion gauges,
+  /// pacing configuration, ablation modes.
+  FlowRegistry& flows() { return *flows_; }
+  const FlowRegistry& flows() const { return *flows_; }
 
  private:
   sim::Engine* engine_;
+  // Declared before links_: every Link holds a pointer into the registry.
+  std::unique_ptr<FlowRegistry> flows_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Cluster> clusters_;

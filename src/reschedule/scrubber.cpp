@@ -29,6 +29,9 @@ sim::Task repairCopy(std::shared_ptr<DepotScrubber::State> s, std::string key,
   // ledger, not for any incarnation.
   services::PutOptions opts;
   opts.digest = want.digest;
+  // Re-replication is the canonical bandwidth thief; bulk pacing keeps it
+  // from crowding out application transfers on a contended link.
+  opts.transferClass = grid::TransferClass::kBulk;
   try {
     co_await s->ibp->put(key, want.bytes, to, from, opts);
     ++s->stats.repaired;

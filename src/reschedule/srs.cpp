@@ -305,6 +305,9 @@ sim::Task Srs::writeCheckpoint(int rank) {
   services::PutOptions fence;
   fence.fenceDomain = rss_->appName();
   fence.epoch = epoch_;
+  // Checkpoint pushes are background movers: pace them behind the
+  // application's interactive traffic instead of stealing its bandwidth.
+  fence.transferClass = grid::TransferClass::kBulk;
   bool allWritten = true;
   for (const auto& [array, info] : arrays_) {
     // This rank's exact block-cyclic share (block counts are generally not
@@ -416,7 +419,11 @@ sim::Task Srs::readSlice(const std::string& array, int sourceRank, int gen,
       key = &replica;
     }
     if (key != nullptr) {
-      co_await ibp_->getSlice(*key, bytes, toNode);
+      // Block-cyclic redistribution reads are bulk: N restarted ranks
+      // pulling slices at once would otherwise starve whatever contract
+      // traffic shares the WAN (incast on migration).
+      co_await ibp_->getSlice(*key, bytes, toNode,
+                              grid::TransferClass::kBulk);
       if (want != nullptr && !sliceCopyVerifies(*ibp_, *key, *want)) {
         // Only reachable with verification off: ground-truth accounting of
         // a silent wrong restore (the app now holds corrupt data).

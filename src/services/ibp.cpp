@@ -76,7 +76,7 @@ sim::Task Ibp::put(const std::string& key, double bytes, grid::NodeId atNode,
   requireDepotUp(atNode, "put");
   if (fromNode != grid::kNoId && fromNode != atNode) {
     GRADS_REQUIRE(fromNode < grid_->nodeCount(), "Ibp::put: unknown source");
-    co_await grid_->transfer(fromNode, atNode, bytes);
+    co_await grid_->transfer(fromNode, atNode, bytes, opts.transferClass);
   }
   co_await diskFor(atNode).consume(bytes);
   const std::uint64_t digest =
@@ -87,7 +87,7 @@ sim::Task Ibp::put(const std::string& key, double bytes, grid::NodeId atNode,
 }
 
 sim::Task Ibp::getSlice(const std::string& key, double bytes,
-                        grid::NodeId toNode) {
+                        grid::NodeId toNode, grid::TransferClass cls) {
   const auto it = objects_.find(key);
   GRADS_REQUIRE(it != objects_.end(), "Ibp::get: unknown object " + key);
   GRADS_REQUIRE(it->second.torn || bytes <= it->second.bytes + 1e-6,
@@ -99,13 +99,14 @@ sim::Task Ibp::getSlice(const std::string& key, double bytes,
   // Disk read and network transfer overlap poorly at this scale; model them
   // as sequential stages (disk is rarely the bottleneck for remote reads).
   co_await diskFor(from).consume(toRead);
-  if (from != toNode) co_await grid_->transfer(from, toNode, toRead);
+  if (from != toNode) co_await grid_->transfer(from, toNode, toRead, cls);
 }
 
-sim::Task Ibp::get(const std::string& key, grid::NodeId toNode) {
+sim::Task Ibp::get(const std::string& key, grid::NodeId toNode,
+                   grid::TransferClass cls) {
   const auto it = objects_.find(key);
   GRADS_REQUIRE(it != objects_.end(), "Ibp::get: unknown object " + key);
-  co_await getSlice(key, it->second.bytes, toNode);
+  co_await getSlice(key, it->second.bytes, toNode, cls);
 }
 
 bool Ibp::exists(const std::string& key) const {

@@ -44,6 +44,10 @@ struct PutOptions {
   /// Writer's incarnation epoch; rejected with StaleEpochError when below
   /// the depot fence for `fenceDomain`.
   int epoch = 0;
+  /// Pacing class of the network leg. Checkpoint pushes and scrubber
+  /// re-replication are bulk: they yield bandwidth to interactive/contract
+  /// traffic on contended links.
+  grid::TransferClass transferClass = grid::TransferClass::kInteractive;
 };
 
 /// Internet Backplane Protocol storage fabric: one depot per node, backed by
@@ -89,16 +93,20 @@ class Ibp : public core::Snapshottable {
   }
 
   /// Reads object `key` into a process on `toNode`: pays depot disk time
-  /// plus (if remote) the network transfer from the depot's node.
-  sim::Task get(const std::string& key, grid::NodeId toNode);
+  /// plus (if remote) the network transfer from the depot's node. The
+  /// transfer class defaults to interactive; block-cyclic redistribution
+  /// readers pass kBulk so restores pace themselves behind contract traffic.
+  sim::Task get(const std::string& key, grid::NodeId toNode,
+                grid::TransferClass cls = grid::TransferClass::kInteractive);
 
   /// Reads only a `bytes`-sized slice of object `key` to `toNode` (used for
   /// N-to-M redistribution where each reader pulls its own pieces). A torn
   /// (truncated) object delivers a silent short read — exactly what a real
   /// depot does — instead of erroring; intact objects still reject
   /// oversized slice requests as a caller bug.
-  sim::Task getSlice(const std::string& key, double bytes,
-                     grid::NodeId toNode);
+  sim::Task getSlice(const std::string& key, double bytes, grid::NodeId toNode,
+                     grid::TransferClass cls =
+                         grid::TransferClass::kInteractive);
 
   bool exists(const std::string& key) const;
   double sizeOf(const std::string& key) const;

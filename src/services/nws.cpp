@@ -350,6 +350,7 @@ void Nws::encodeState(core::SnapshotWriter& w) const {
   encodeSeriesMap(w, cpu_);
   encodeSeriesMap(w, incumbent_);
   encodeSeriesMap(w, bw_);
+  encodeSeriesMap(w, util_);
 }
 
 void Nws::decodeState(core::SnapshotReader& r) {
@@ -372,6 +373,7 @@ void Nws::decodeState(core::SnapshotReader& r) {
   decodeSeriesMap(r, cpu_);
   decodeSeriesMap(r, incumbent_);
   decodeSeriesMap(r, bw_);
+  decodeSeriesMap(r, util_);
   // The sampling daemon is never serialized: restore happens into a fresh
   // engine and the restore protocol re-arms exactly one sampler via
   // start(). Leaving running_ set here would make that start() a no-op and
@@ -408,6 +410,15 @@ void Nws::sampleAll() {
         std::max(0.0, truth * (1.0 + rng_.normal(0.0, noise_)));
     bw_[lid].addMeasurement(measured);
   }
+  // Congestion gauges from the flow registry: the allocated fraction of
+  // each link's capacity is a *real* measurement of transfer dynamics
+  // (checkpoint pushes, redistribution, scrubbing), not a synthetic series.
+  for (grid::LinkId lid = 0; lid < grid_->linkCount(); ++lid) {
+    const double truth = grid_->flows().linkUtilization(lid);
+    const double measured =
+        std::clamp(truth * (1.0 + rng_.normal(0.0, noise_)), 0.0, 1.0);
+    util_[lid].addMeasurement(measured);
+  }
   ++samples_;
   lastSample_ = engine_->now();
   engine_->scheduleDaemon(period_, [this] { sampleAll(); });
@@ -438,6 +449,10 @@ std::optional<double> Nws::tryBandwidth(grid::LinkId link) const {
   return serve(bw_, link);
 }
 
+std::optional<double> Nws::tryLinkUtilization(grid::LinkId link) const {
+  return serve(util_, link);
+}
+
 std::optional<double> Nws::tryEffectiveRate(grid::NodeId node) const {
   const auto avail = tryCpuAvailability(node);
   if (!avail) return std::nullopt;
@@ -456,12 +471,14 @@ double Nws::transferTimeDegraded(grid::NodeId src, grid::NodeId dst,
   if (route.links.empty()) return 0.0;
   double minBw = std::numeric_limits<double>::infinity();
   for (const auto lid : route.links) {
+    // Noisy sensor readings can exceed what any single flow can achieve;
+    // clamp both the measured and the static-spec fallback to the per-flow
+    // cap so the degraded estimate never beats transferEstimate.
+    const double cap = grid_->link(lid).spec().perFlowCapBytesPerSec;
     const auto measured = tryBandwidth(lid);
-    const double b = measured ? *measured
-                              : std::min(grid_->link(lid).spec()
-                                             .bandwidthBytesPerSec,
-                                         grid_->link(lid).spec()
-                                             .perFlowCapBytesPerSec);
+    const double b =
+        measured ? std::min(*measured, cap)
+                 : std::min(grid_->link(lid).spec().bandwidthBytesPerSec, cap);
     minBw = std::min(minBw, b);
   }
   if (minBw <= 0.0) return std::numeric_limits<double>::infinity();
@@ -482,6 +499,13 @@ double Nws::bandwidth(grid::LinkId link) const {
   return it->second.forecast();
 }
 
+double Nws::linkUtilization(grid::LinkId link) const {
+  const auto it = util_.find(link);
+  GRADS_REQUIRE(it != util_.end() && it->second.measurements() > 0,
+                "Nws: no utilization measurements for link");
+  return it->second.forecast();
+}
+
 double Nws::latency(grid::LinkId link) const {
   return grid_->link(link).latency();
 }
@@ -491,7 +515,13 @@ double Nws::transferTime(grid::NodeId src, grid::NodeId dst,
   const auto route = grid_->route(src, dst);
   if (route.links.empty()) return 0.0;
   double minBw = std::numeric_limits<double>::infinity();
-  for (const auto lid : route.links) minBw = std::min(minBw, bandwidth(lid));
+  for (const auto lid : route.links) {
+    // Forecasts are clamped to the per-flow cap for the same reason as the
+    // degraded path: no forecast can promise more than one flow can carry.
+    minBw = std::min(minBw,
+                     std::min(bandwidth(lid),
+                              grid_->link(lid).spec().perFlowCapBytesPerSec));
+  }
   if (minBw <= 0.0) return std::numeric_limits<double>::infinity();
   return route.latencySec + bytes / minBw;
 }

@@ -118,6 +118,10 @@ class Nws : public core::Snapshottable {
   double incumbentAvailability(grid::NodeId node) const;
   /// Forecast available bandwidth (bytes/s) on a link.
   double bandwidth(grid::LinkId link) const;
+  /// Forecast link utilization (allocated fraction of capacity, [0, 1]) —
+  /// a real congestion signal sampled from the flow registry, not a synthetic
+  /// series: the forecasters finally see genuine transfer dynamics.
+  double linkUtilization(grid::LinkId link) const;
   /// Measured latency of a link (assumed stable; sensed once).
   double latency(grid::LinkId link) const;
 
@@ -127,6 +131,7 @@ class Nws : public core::Snapshottable {
   std::optional<double> tryCpuAvailability(grid::NodeId node) const;
   std::optional<double> tryIncumbentAvailability(grid::NodeId node) const;
   std::optional<double> tryBandwidth(grid::LinkId link) const;
+  std::optional<double> tryLinkUtilization(grid::LinkId link) const;
   /// Degraded effectiveRate()/incumbentRate(): nullopt when dark so long
   /// that nothing was ever measured for the node.
   std::optional<double> tryEffectiveRate(grid::NodeId node) const;
@@ -165,6 +170,7 @@ class Nws : public core::Snapshottable {
   std::map<grid::NodeId, ForecasterBattery> cpu_;
   std::map<grid::NodeId, ForecasterBattery> incumbent_;
   std::map<grid::LinkId, ForecasterBattery> bw_;
+  std::map<grid::LinkId, ForecasterBattery> util_;
 };
 
 }  // namespace grads::services

@@ -96,6 +96,60 @@ TEST(Grid, SameNodeTransferIsFree) {
                    0.0);
 }
 
+TEST(Grid, RouteNeverListsALinkTwice) {
+  sim::Engine eng;
+  Grid g(eng);
+  const auto tb = buildQrTestbed(g);
+  // The same-cluster route must collapse to one LAN hop (the double-LAN
+  // bug paid the switch twice and let a flow contend with itself); every
+  // other route must be duplicate-free too.
+  for (NodeId a = 0; a < g.nodeCount(); ++a) {
+    for (NodeId b = 0; b < g.nodeCount(); ++b) {
+      const Route r = g.route(a, b);
+      for (std::size_t i = 0; i < r.links.size(); ++i) {
+        for (std::size_t j = i + 1; j < r.links.size(); ++j) {
+          EXPECT_NE(r.links[i], r.links[j])
+              << "route " << a << "->" << b << " repeats a link";
+        }
+      }
+    }
+  }
+  (void)tb;
+}
+
+TEST(Grid, IntraClusterTransferPinnedToLatencyPlusBytesOverBw) {
+  sim::Engine eng;
+  Grid g(eng);
+  const auto tb = buildQrTestbed(g);
+  double doneAt = -1.0;
+  eng.spawn([](Grid& grid, NodeId a, NodeId b, double* t) -> sim::Task {
+    co_await grid.transfer(a, b, kMB);
+    *t = grid.engine().now();
+  }(g, tb.utkNodes[0], tb.utkNodes[1], &doneAt));
+  eng.run();
+  // Exactly one LAN hop at the per-flow wire speed: latency + bytes/bw,
+  // bit-for-bit (the single-flow backward-compatibility guarantee).
+  const LinkSpec& lan = g.link(g.cluster(tb.utk).lan).spec();
+  EXPECT_DOUBLE_EQ(doneAt,
+                   lan.latencySec + kMB / lan.perFlowCapBytesPerSec);
+}
+
+TEST(Grid, TransferEstimateNowClampsToPerFlowCap) {
+  sim::Engine eng;
+  Grid g(eng);
+  const auto tb = buildQrTestbed(g);
+  // The switched LAN backplane is 25 MB/s but any single flow is capped at
+  // wire speed (12.5 MB/s); the estimate must quote the capped rate.
+  const LinkSpec& lan = g.link(g.cluster(tb.utk).lan).spec();
+  ASSERT_GT(lan.bandwidthBytesPerSec, lan.perFlowCapBytesPerSec);
+  EXPECT_DOUBLE_EQ(g.transferEstimateNow(tb.utkNodes[0], tb.utkNodes[1], kMB),
+                   lan.latencySec + kMB / lan.perFlowCapBytesPerSec);
+  // On an idle route the live estimate agrees exactly with the static one.
+  EXPECT_DOUBLE_EQ(
+      g.transferEstimateNow(tb.utkNodes[0], tb.uiucNodes[0], kMB),
+      g.transferEstimate(tb.utkNodes[0], tb.uiucNodes[0], kMB));
+}
+
 TEST(Grid, TransferEstimateUsesBottleneck) {
   sim::Engine eng;
   Grid g(eng);

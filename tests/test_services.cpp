@@ -104,6 +104,42 @@ TEST(Nws, TransferTimeMatchesGridEstimate) {
               0.2);
 }
 
+TEST(Nws, DegradedTransferTimeClampsToPerFlowCap) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  // Never started: no measurements, so the degraded estimate falls back to
+  // link specs. The LAN backplane (25 MB/s) exceeds the per-flow wire speed
+  // (12.5 MB/s); quoting the backplane would undercut transferEstimate.
+  Nws nws(eng, g, 10.0, 0.0);
+  const grid::LinkSpec& lan = g.link(g.cluster(tb.utk).lan).spec();
+  ASSERT_GT(lan.bandwidthBytesPerSec, lan.perFlowCapBytesPerSec);
+  EXPECT_DOUBLE_EQ(
+      nws.transferTimeDegraded(tb.utkNodes[0], tb.utkNodes[1], kMB),
+      lan.latencySec + kMB / lan.perFlowCapBytesPerSec);
+}
+
+TEST(Nws, SamplesLinkUtilizationFromFlowRegistry) {
+  sim::Engine eng;
+  grid::Grid g(eng);
+  const auto tb = grid::buildQrTestbed(g);
+  Nws nws(eng, g, 1.0, 0.0);  // noise-free: gauges report ground truth
+  nws.start();
+  const auto route = g.route(tb.utkNodes[0], tb.uiucNodes[0]);
+  const grid::LinkId wan = route.links[1];
+  // A long transfer saturates the WAN while the sensor sweeps keep firing.
+  eng.spawn([](grid::Grid& grid, grid::NodeId a, grid::NodeId b) -> sim::Task {
+    co_await grid.transfer(a, b, 12.0 * kMB);  // ~10 s at 1.2 MB/s
+  }(g, tb.utkNodes[0], tb.uiucNodes[0]),
+            "long-xfer");
+  eng.runUntil(5.0);
+  EXPECT_DOUBLE_EQ(nws.linkUtilization(wan), 1.0);
+  ASSERT_TRUE(nws.tryLinkUtilization(wan).has_value());
+  // Drained: subsequent sweeps see the link idle again.
+  eng.runUntil(30.0);
+  EXPECT_DOUBLE_EQ(nws.linkUtilization(wan), 0.0);
+}
+
 TEST(Nws, EffectiveRateScalesWithAvailability) {
   sim::Engine eng;
   grid::Grid g(eng);
