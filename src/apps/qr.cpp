@@ -5,6 +5,7 @@
 #include <set>
 
 #include "autopilot/sensor.hpp"
+#include "reschedule/srs.hpp"
 #include "services/gis.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"

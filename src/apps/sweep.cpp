@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autopilot/sensor.hpp"
+#include "reschedule/srs.hpp"
 #include "services/gis.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"

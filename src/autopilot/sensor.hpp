@@ -57,8 +57,8 @@ class AutopilotManager : public core::Snapshottable {
     bool active = true;
   };
 
-  sim::Engine* engine_;
-  std::vector<Sub> subs_;
+  sim::Engine* engine_;    // grads: transient(wiring, re-bound at construction)
+  std::vector<Sub> subs_;  // grads: transient(subscriptions, re-registered by services as they are rebuilt)
   std::map<std::string, std::vector<Reading>> history_;
   std::size_t total_ = 0;
 };

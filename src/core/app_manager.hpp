@@ -250,20 +250,21 @@ class AppManager : public core::Snapshottable {
   void scheduleSnapshotTick(double periodSec);
   std::optional<ResumeRecord> takeResume(const std::string& app);
 
-  grid::Grid* grid_;
-  services::Gis* gis_;
-  const services::Nws* nws_;
-  services::Ibp* ibp_;
-  autopilot::AutopilotManager* autopilot_;
+  grid::Grid* grid_;         // grads: transient(wiring, re-bound at construction)
+  services::Gis* gis_;       // grads: transient(wiring, re-bound at construction)
+  const services::Nws* nws_; // grads: transient(wiring, re-bound at construction)
+  services::Ibp* ibp_;       // grads: transient(wiring, re-bound at construction)
+  autopilot::AutopilotManager* autopilot_;  // grads: transient(wiring, re-bound at construction)
 
+  // grads: transient(section registry, rebuilt as services re-register at construction)
   core::SnapshotRegistry registry_;
   std::shared_ptr<LiveMap> live_ = std::make_shared<LiveMap>();
   std::set<std::string> completed_;
   std::map<std::string, ResumeRecord> resume_;
-  SnapshotSink snapshotSink_;
-  bool snapshotArmed_ = false;
-  bool restoredOnce_ = false;
-  std::size_t snapshotsTaken_ = 0;
+  SnapshotSink snapshotSink_;  // grads: transient(sink callback, re-registered by the driver)
+  bool snapshotArmed_ = false; // grads: transient(arm-once daemon flag - restore re-arms explicitly)
+  bool restoredOnce_ = false;  // grads: transient(runtime restore marker, meaningful only within one process life)
+  std::size_t snapshotsTaken_ = 0;  // grads: transient(diagnostic counter, not logical state)
 };
 
 }  // namespace grads::core

@@ -7,10 +7,16 @@
 
 #include "autopilot/sensor.hpp"
 #include "grid/grid.hpp"
-#include "reschedule/srs.hpp"
 #include "services/nws.hpp"
 #include "sim/task.hpp"
 #include "vmpi/world.hpp"
+
+// The launch context only carries a pointer to the stop/restart service;
+// including reschedule/srs.hpp here would invert the layering DAG (the
+// rescheduler sits above the launch pipeline it drives — lint rule R8).
+namespace grads::reschedule {
+class Srs;
+}
 
 namespace grads::core {
 

@@ -141,13 +141,15 @@ class FlowRegistry {
   void solve();
   void replan();
 
-  sim::Engine* engine_;
+  sim::Engine* engine_;  // grads: transient(wiring, re-bound at construction)
+  // grads: transient(per-link table rebuilt from the grid topology - dynamic link state is Grid's snapshot section)
   std::vector<LinkState> links_;
   // Contiguous for the same reason PsResource keeps its jobs flat: every
   // solve and finish sweep walks all flows.
+  // grads: transient(live flow table - snapshots cut at quiescent boundaries and replayed transfers re-open their flows)
   std::vector<Flow> flows_;
-  sim::Time lastUpdate_ = 0.0;
-  sim::Engine::EventHandle pendingFinish_;
+  sim::Time lastUpdate_ = 0.0;  // grads: transient(solver bookkeeping, re-anchored on first post-restore event)
+  sim::Engine::EventHandle pendingFinish_;  // grads: transient(pending event handle, re-armed when flows re-open)
 
   SharingMode mode_ = SharingMode::kMaxMin;
   bool pacing_ = true;

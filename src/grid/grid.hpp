@@ -154,12 +154,13 @@ class Grid : public core::Snapshottable {
   const FlowRegistry& flows() const { return *flows_; }
 
  private:
-  sim::Engine* engine_;
+  sim::Engine* engine_;  // grads: transient(wiring, re-bound at construction)
   // Declared before links_: every Link holds a pointer into the registry.
   std::unique_ptr<FlowRegistry> flows_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Cluster> clusters_;
+  // grads: transient(route index rebuilt by the testbed builder - only dynamic link state is decoded)
   std::map<std::pair<ClusterId, ClusterId>, LinkId> wan_;
 };
 

@@ -62,13 +62,16 @@ using CurrentLoad = std::shared_ptr<std::optional<sim::PsResource::LoadId>>;
 void armPhase(sim::Engine& engine, Node& node, const CurrentLoad& current,
               sim::Time at, double weight) {
   // Daemon events: background load must not keep the simulation alive
-  // after the foreground work completes.
-  engine.scheduleDaemonAt(at, [&node, current, weight] {
+  // after the foreground work completes. The node outlives every armed
+  // phase (it is grid-owned), so capture an explicit handle rather than a
+  // reference bound to this frame's parameter (lint rule R10).
+  sim::PsResource* cpu = &node.cpu();
+  engine.scheduleDaemonAt(at, [cpu, current, weight] {
     if (current->has_value()) {
-      node.removeLoad(current->value());
+      cpu->removeLoad(current->value());
       current->reset();
     }
-    if (weight > 0.0) *current = node.injectLoad(weight);
+    if (weight > 0.0) *current = cpu->addLoad(weight);
   });
 }
 

@@ -259,13 +259,13 @@ class MetaScheduler : public core::Snapshottable {
   void noteInSystem();
   void fire(const char* kind);
 
-  core::AppManager* mgr_;
-  grid::Grid* grid_;
-  services::Gis* gis_;
-  const services::Nws* nws_;
-  reschedule::ActionJournal* journal_;
-  FrontendOptions opts_;
-  AdmissionController admission_;
+  core::AppManager* mgr_;      // grads: transient(wiring, re-bound at construction)
+  grid::Grid* grid_;           // grads: transient(wiring, re-bound at construction)
+  services::Gis* gis_;         // grads: transient(wiring, re-bound at construction)
+  const services::Nws* nws_;   // grads: transient(wiring, re-bound at construction)
+  reschedule::ActionJournal* journal_;  // grads: transient(wiring, re-bound at construction)
+  FrontendOptions opts_;       // grads: transient(construction-time config)
+  AdmissionController admission_;  // grads: transient(stateless policy over wiring + config)
   BrownoutController brownout_;
 
   std::vector<TenantLedger> ledgers_;
@@ -273,14 +273,17 @@ class MetaScheduler : public core::Snapshottable {
   std::map<JobKey, Job> jobs_;  ///< every non-terminal job
   std::vector<std::deque<JobKey>> queues_;
   std::map<JobKey, double> resubmitAt_;
-  std::map<JobKey, std::shared_ptr<JobControl>> controls_;  ///< runtime only
+  /// Runtime stop-handles; journal recovery rolls parked actions back.
+  // grads: transient(runtime stop-handles, cleared on decode - journal recovery rolls their actions back)
+  std::map<JobKey, std::shared_ptr<JobControl>> controls_;
   std::vector<grid::NodeId> freeSlots_;
 
-  std::int64_t queuedTotal_ = 0;
-  double queuedFlops_ = 0.0;
-  std::int64_t runningCount_ = 0;
-  std::int64_t parkedCount_ = 0;
-  std::int64_t pendingParks_ = 0;  ///< runtime only (journal-recovered)
+  std::int64_t queuedTotal_ = 0;   // grads: transient(derived gauge, rebuilt from queues_ on decode)
+  double queuedFlops_ = 0.0;       // grads: transient(derived gauge, rebuilt from queues_ on decode)
+  std::int64_t runningCount_ = 0;  // grads: transient(derived gauge, rebuilt from jobs_ on decode)
+  std::int64_t parkedCount_ = 0;   // grads: transient(derived gauge, rebuilt from jobs_ on decode)
+  // grads: transient(runtime only - journal recovery rolled the park actions back)
+  std::int64_t pendingParks_ = 0;
   std::int64_t peakQueueDepth_ = 0;
   std::int64_t peakInSystem_ = 0;
   double queueDepthSum_ = 0.0;
@@ -288,15 +291,17 @@ class MetaScheduler : public core::Snapshottable {
   double busySlotSec_ = 0.0;
   double busyStamp_ = 0.0;
   std::int64_t busyCount_ = 0;
-  bool started_ = false;
+  bool started_ = false;  // grads: transient(arm-once flag - restore re-arms daemons explicitly)
   bool deadlineFired_ = false;
-  bool kickPending_ = false;  ///< runtime only
-  bool tickPending_ = false;  ///< runtime only
+  bool kickPending_ = false;  // grads: transient(pending-event latch, re-armed after restore)
+  bool tickPending_ = false;  // grads: transient(pending-event latch, re-armed after restore)
 
   std::function<void(double, std::int64_t, std::int64_t, std::int64_t, double,
                      BrownoutLevel)>
-      onSample_;
+      onSample_;  // grads: transient(observer callback, re-registered by the driver)
+  // grads: transient(observer callback, re-registered by the driver)
   std::function<void(const JobStats&)> onJobComplete_;
+  // grads: transient(observer callback, re-registered by the driver)
   std::function<void(const char*)> onTransition_;
 };
 

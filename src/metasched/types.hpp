@@ -107,7 +107,7 @@ class BrownoutController {
   void decodeState(core::SnapshotReader& r);
 
  private:
-  BrownoutOptions opts_;
+  BrownoutOptions opts_;  // grads: transient(construction-time config)
   int level_ = 0;
   double lastChangeAt_ = -1e300;
   std::int64_t escalations_ = 0;

@@ -112,14 +112,15 @@ class ViolationGovernor : public core::Snapshottable {
  private:
   void count(Stats& s, GovernorVerdict verdict) const;
 
-  sim::Engine* engine_;
-  ActionJournal* journal_;
-  GovernorOptions opts_;
+  sim::Engine* engine_;    // grads: transient(wiring, re-bound at construction)
+  ActionJournal* journal_; // grads: transient(wiring, re-bound at construction)
+  GovernorOptions opts_;   // grads: transient(construction-time config)
   /// Per-app phases that violated, newest last (pruned to the quorum
   /// window).
   std::map<std::string, std::deque<std::size_t>> violatingPhases_;
   Stats total_;
   std::map<std::string, Stats> perApp_;
+  // grads: transient(policy hook, re-installed by the owner after construction)
   std::function<double(const std::string&)> cooldownExtra_;
 };
 

@@ -146,17 +146,18 @@ class ActionJournal : public core::Snapshottable {
   ActionRecord& mutableRecord(int id);
   void resolve(ActionRecord& r, ActionState state, const std::string& note);
 
-  sim::Engine* engine_;
+  sim::Engine* engine_;  // grads: transient(wiring, re-bound at construction)
   std::vector<ActionRecord> records_;
-  std::map<std::string, int> openByApp_;  ///< app -> open record id
-  std::map<std::string, double> lastResolved_;
-  int inFlight_ = 0;
-  int opened_ = 0;
-  int committed_ = 0;
-  int rolledBack_ = 0;
+  /// app -> open record id
+  std::map<std::string, int> openByApp_;  // grads: transient(derived index, rebuilt from records_ on decode)
+  std::map<std::string, double> lastResolved_;  // grads: transient(derived index, rebuilt from records_ on decode)
+  int inFlight_ = 0;    // grads: transient(derived counter, rebuilt from records_ on decode)
+  int opened_ = 0;      // grads: transient(derived counter, rebuilt from records_ on decode)
+  int committed_ = 0;   // grads: transient(derived counter, rebuilt from records_ on decode)
+  int rolledBack_ = 0;  // grads: transient(derived counter, rebuilt from records_ on decode)
   int recoveries_ = 0;
-  std::function<void(const ActionRecord&)> onResolve_;
-  std::function<void(const ActionRecord&)> onTransition_;
+  std::function<void(const ActionRecord&)> onResolve_;     // grads: transient(observer callback, re-registered by the owner)
+  std::function<void(const ActionRecord&)> onTransition_;  // grads: transient(observer callback, re-registered by the owner)
 };
 
 }  // namespace grads::reschedule

@@ -146,7 +146,7 @@ class Rss {
   void decodeState(core::SnapshotReader& r);
 
  private:
-  sim::Engine* engine_;
+  sim::Engine* engine_;  // grads: transient(wiring, re-bound at construction)
   std::string app_;
   bool stopRequested_ = false;
   bool failureSignaled_ = false;

@@ -254,12 +254,12 @@ class ForkDriver : public core::Snapshottable {
   std::vector<Perturbation> drawFutures();
   void settle(const std::string& app, double now, bool violated);
 
-  sim::Engine* engine_;
-  DriverOptions opts_;
+  sim::Engine* engine_;  // grads: transient(wiring, re-bound at construction)
+  DriverOptions opts_;   // grads: transient(construction-time config)
   Rng rng_;
-  SandboxRunner runner_;
-  SnapshotSource source_;
-  std::function<void(const char*)> onFork_;
+  SandboxRunner runner_;   // grads: transient(fork sandbox machinery, stateless between decisions)
+  SnapshotSource source_;  // grads: transient(snapshot-source callback, re-installed by the driver)
+  std::function<void(const char*)> onFork_;  // grads: transient(observer callback, re-registered by the driver)
   std::vector<DecisionRecord> log_;
   std::map<grid::NodeId, double> mistrust_;
   std::vector<Pending> pending_;

@@ -70,7 +70,7 @@ class Gis : public core::Snapshottable {
   const grid::Grid& grid() const { return *grid_; }
 
  private:
-  const grid::Grid* grid_;
+  const grid::Grid* grid_;  // grads: transient(wiring, re-bound at construction)
   std::map<grid::NodeId, std::map<std::string, std::string>> software_;
   std::set<grid::NodeId> down_;         ///< reported (directory) state
   std::set<grid::NodeId> unreachable_;  ///< actual state

@@ -164,7 +164,8 @@ class Ibp : public core::Snapshottable {
 
   const Object& require(const std::string& key, const char* op) const;
 
-  grid::Grid* grid_;
+  grid::Grid* grid_;  // grads: transient(wiring, re-bound at construction)
+  // grads: transient(per-depot disk resources rebuilt from topology - transfers re-enter after a quiescent restore)
   std::map<grid::NodeId, std::unique_ptr<sim::PsResource>> disks_;
   std::map<std::string, Object> objects_;
   std::set<grid::NodeId> downDepots_;

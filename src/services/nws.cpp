@@ -72,7 +72,7 @@ class SlidingMedian final : public Forecaster {
   }
 
  private:
-  std::size_t window_;
+  std::size_t window_;  // grads: transient(construction-time config)
   std::deque<double> values_;
 };
 
@@ -97,7 +97,7 @@ class ExpSmoothing final : public Forecaster {
   }
 
  private:
-  double alpha_;
+  double alpha_;  // grads: transient(construction-time config)
   double value_ = 0.0;
   bool first_ = true;
 };
@@ -135,9 +135,9 @@ class SlidingMean final : public Forecaster {
   }
 
  private:
-  std::size_t window_;
+  std::size_t window_;  // grads: transient(construction-time config)
   std::deque<double> values_;
-  double sum_ = 0.0;
+  double sum_ = 0.0;  // grads: transient(derived running sum, rebuilt from values_ on decode)
 };
 
 class Ar1 final : public Forecaster {

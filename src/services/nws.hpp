@@ -157,12 +157,12 @@ class Nws : public core::Snapshottable {
                                   series,
                               grid::NodeId key) const;
 
-  sim::Engine* engine_;
-  grid::Grid* grid_;
+  sim::Engine* engine_;  // grads: transient(wiring, re-bound at construction)
+  grid::Grid* grid_;     // grads: transient(wiring, re-bound at construction)
   double period_;
   double noise_;
   Rng rng_;
-  bool running_ = false;
+  bool running_ = false;  // grads: transient(arm-once daemon flag - restore re-arms explicitly)
   bool dark_ = false;
   double staleAfter_;
   double lastSample_ = -1.0;

@@ -8,6 +8,7 @@
 namespace grads::log {
 
 Config& config() {
+  // grads-lint: allow(R7 logging singleton - diagnostic sink/level only, never feeds simulation decisions)
   static Config cfg;
   return cfg;
 }

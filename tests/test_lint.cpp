@@ -11,21 +11,26 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint.hpp"
+#include "sarif.hpp"
 #include "sim/engine.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
+using grads::lint::AnalyzeOptions;
 using grads::lint::Finding;
 using grads::lint::TreeReport;
 
-TreeReport lintOne(const std::string& path, const std::string& src) {
-  return grads::lint::lintSources({{path, src}});
+TreeReport lintOne(const std::string& path, const std::string& src,
+                   const AnalyzeOptions& opts = {}) {
+  return grads::lint::lintSources({{path, src}}, opts);
 }
 
 int countRule(const TreeReport& r, const std::string& rule,
@@ -34,6 +39,15 @@ int countRule(const TreeReport& r, const std::string& rule,
       r.findings.begin(), r.findings.end(), [&](const Finding& f) {
         return f.rule == rule && f.suppressed == suppressed;
       }));
+}
+
+bool ruleMessageContains(const TreeReport& r, const std::string& rule,
+                         const std::string& needle) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule &&
+                              f.message.find(needle) != std::string::npos;
+                     });
 }
 
 // ---------------------------------------------------------------------------
@@ -553,6 +567,442 @@ TEST(LintR6, Suppressed) {
 }
 
 // ---------------------------------------------------------------------------
+// R7 — mutable static / thread_local state.
+// ---------------------------------------------------------------------------
+
+TEST(LintR7, FlagsMutableStaticsAtEveryScope) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    static int fileCounter = 0;
+    thread_local int tlsSlot = 0;
+    int nextTicket() {
+      static int next = 0;
+      return ++next;
+    }
+    struct Stats {
+      static int hits_;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R7"), 4);
+  EXPECT_TRUE(ruleMessageContains(r, "R7", "file/namespace-scope static"));
+  EXPECT_TRUE(ruleMessageContains(r, "R7", "function-local static"));
+  EXPECT_TRUE(ruleMessageContains(r, "R7", "mutable static data member"));
+  EXPECT_TRUE(ruleMessageContains(r, "R7", "thread_local"));
+}
+
+TEST(LintR7, ConstAndConstexprStaticsAreExempt) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    static const int kRetries = 3;
+    static constexpr double kEpsilon = 1e-9;
+    namespace detail {
+    static constinit int kSlots = 8;
+    }
+    static int helper() { return kRetries; }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R7"), 0);  // values are immutable; helper is a fn
+}
+
+TEST(LintR7, ThreadLocalIsFlaggedEvenWhenConst) {
+  // Const-ness does not rescue thread_local: the value is per-thread, so the
+  // first thread to initialise it pins behaviour invisibly.
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    thread_local const double kSlot = 1.0;
+  )cpp");
+  EXPECT_EQ(countRule(r, "R7"), 1);
+}
+
+TEST(LintR7, BenchIsOnlyInScopeUnderSelfcheck) {
+  const std::string src = "static int scratch = 0;\n";
+  EXPECT_EQ(countRule(lintOne("bench/foo.cpp", src), "R7"), 0);
+  EXPECT_EQ(countRule(lintOne("bench/foo.cpp", src, AnalyzeOptions{true}),
+                      "R7"),
+            1);
+  EXPECT_EQ(countRule(lintOne("tools/lint/foo.cpp", src, AnalyzeOptions{true}),
+                      "R7"),
+            1);
+  // tests/ fixtures break rules on purpose — never in scope.
+  EXPECT_EQ(countRule(lintOne("tests/foo.cpp", src, AnalyzeOptions{true}),
+                      "R7"),
+            0);
+}
+
+TEST(LintR7, Suppressed) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    // grads-lint: allow(R7 documented singleton - fixture)
+    static int registry = 0;
+  )cpp");
+  EXPECT_EQ(countRule(r, "R7", true), 1);
+  EXPECT_EQ(countRule(r, "R7", false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R8 — architecture layering DAG.
+// ---------------------------------------------------------------------------
+
+TEST(LintR8, UpwardIncludeInvertsTheDag) {
+  const auto r = lintOne("src/grid/foo.cpp",
+                         "#include \"reschedule/srs.hpp\"\n");
+  EXPECT_EQ(countRule(r, "R8"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R8", "inverts the architecture DAG"));
+}
+
+TEST(LintR8, DownwardSameLayerAndSystemIncludesAreSilent) {
+  const auto r = lintOne("src/reschedule/foo.cpp",
+                         "#include <vector>\n"
+                         "#include \"grid/node.hpp\"\n"
+                         "#include \"reschedule/journal.hpp\"\n"
+                         "#include \"util/log.hpp\"\n");
+  EXPECT_EQ(countRule(r, "R8"), 0);
+}
+
+TEST(LintR8, CompositionRootOverridesOutrankTheirDirectory) {
+  // core/app_manager sits above the rescheduler it drives, the rest of
+  // core/ does not.
+  const std::string inc = "#include \"reschedule/srs.hpp\"\n";
+  EXPECT_EQ(countRule(lintOne("src/core/app_manager.cpp", inc), "R8"), 0);
+  EXPECT_EQ(countRule(lintOne("src/core/binder.cpp", inc), "R8"), 0);
+  EXPECT_EQ(countRule(lintOne("src/core/launch.cpp", inc), "R8"), 1);
+}
+
+TEST(LintR8, OnlySrcIsInScope) {
+  // bench/tests/tools sit on top of the whole tree and may include anything.
+  const auto r = lintOne("bench/foo.cpp",
+                         "#include \"metasched/frontend.hpp\"\n",
+                         AnalyzeOptions{true});
+  EXPECT_EQ(countRule(r, "R8"), 0);
+}
+
+TEST(LintR8, Suppressed) {
+  const auto r = lintOne("src/grid/foo.cpp",
+                         "// grads-lint: allow(R8 transitional edge)\n"
+                         "#include \"metasched/frontend.hpp\"\n");
+  EXPECT_EQ(countRule(r, "R8", true), 1);
+  EXPECT_EQ(countRule(r, "R8", false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R9 — snapshot field coverage.
+// ---------------------------------------------------------------------------
+
+TEST(LintR9, SeededMissingFieldIsCaught) {
+  // The acceptance fixture: one field escapes the snapshot.
+  const auto r = lintOne("src/core/counter.hpp", R"cpp(
+    #pragma once
+    class Counter {
+     public:
+      void encodeState(core::Codec& c) const { c.put(count_); }
+      void decodeState(core::Codec& c) { c.get(count_); }
+
+     private:
+      double count_ = 0.0;
+      double missed_ = 0.0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R9", "missed_"));
+  EXPECT_TRUE(ruleMessageContains(r, "R9", "Counter::encodeState"));
+}
+
+TEST(LintR9, FullyCoveredClassIsSilent) {
+  const auto r = lintOne("src/core/counter.hpp", R"cpp(
+    #pragma once
+    class Counter {
+     public:
+      void encodeState(core::Codec& c) const {
+        c.put(count_);
+        c.put(missed_);
+      }
+      void decodeState(core::Codec& c) {
+        c.get(count_);
+        c.get(missed_);
+      }
+
+     private:
+      double count_ = 0.0;
+      double missed_ = 0.0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9"), 0);
+}
+
+TEST(LintR9, TransientAnnotationSilencesButNeedsAReason) {
+  const auto r = lintOne("src/core/widget.hpp", R"cpp(
+    #pragma once
+    class Widget {
+     public:
+      void encodeState(core::Codec& c) const { c.put(id_); }
+      void decodeState(core::Codec& c) { c.get(id_); }
+
+     private:
+      int id_ = 0;
+      sim::Engine* engine_ = nullptr;  // grads: transient(wiring pointer)
+      // grads: transient()
+      int scratch_ = 0;
+    };
+  )cpp");
+  // engine_ is waived with a reason; scratch_'s empty annotation is itself
+  // a finding (and suppresses the coverage complaint).
+  EXPECT_EQ(countRule(r, "R9"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R9", "needs a reason"));
+  EXPECT_FALSE(ruleMessageContains(r, "R9", "engine_"));
+}
+
+TEST(LintR9, OutOfLineDefinitionJoinsAcrossFiles) {
+  const auto r = grads::lint::lintSources({
+      {"src/core/widget.hpp",
+       "#pragma once\n"
+       "class Widget {\n"
+       " public:\n"
+       "  void encodeState(core::Codec& c) const;\n"
+       "  void decodeState(core::Codec& c);\n"
+       " private:\n"
+       "  int kept_ = 0;\n"
+       "  int lost_ = 0;\n"
+       "};\n"},
+      {"src/core/widget.cpp",
+       "#include \"core/widget.hpp\"\n"
+       "void Widget::encodeState(core::Codec& c) const { c.put(kept_); }\n"
+       "void Widget::decodeState(core::Codec& c) { c.get(kept_); }\n"},
+  });
+  EXPECT_EQ(countRule(r, "R9"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R9", "lost_"));
+  // The finding lands on the header's member, not the .cpp definition.
+  const auto it = std::find_if(
+      r.findings.begin(), r.findings.end(),
+      [](const Finding& f) { return f.rule == "R9" && !f.suppressed; });
+  ASSERT_NE(it, r.findings.end());
+  EXPECT_EQ(it->file, "src/core/widget.hpp");
+}
+
+TEST(LintR9, DelegatedEncodeCountsAsCoverage) {
+  const auto r = lintOne("src/core/outer.hpp", R"cpp(
+    #pragma once
+    class Outer {
+     public:
+      void encodeState(core::Codec& c) const { inner_.encodeState(c); }
+      void decodeState(core::Codec& c) { inner_.decodeState(c); }
+
+     private:
+      Inner inner_;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9"), 0);
+}
+
+TEST(LintR9, TestFixturesAreOutOfScope) {
+  const auto r = lintOne("tests/fixture.cpp", R"cpp(
+    class Leaky {
+     public:
+      void encodeState(core::Codec& c) const { c.put(a_); }
+     private:
+      int a_ = 0;
+      int b_ = 0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9"), 0);
+}
+
+TEST(LintR9, Suppressed) {
+  const auto r = lintOne("src/core/gauge.hpp", R"cpp(
+    #pragma once
+    class Gauge {
+     public:
+      void encodeState(core::Codec& c) const { c.put(total_); }
+      void decodeState(core::Codec& c) { c.get(total_); }
+
+     private:
+      double total_ = 0.0;
+      // grads-lint: allow(R9 rebuilt by the owner's decode pass)
+      double cached_ = 0.0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9", true), 1);
+  EXPECT_EQ(countRule(r, "R9", false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R10 — by-reference captures handed to the engine.
+// ---------------------------------------------------------------------------
+
+TEST(LintR10, FlagsDefaultRefAndExplicitRefCaptures) {
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    void arm(sim::Engine& e, int x) {
+      e.schedule(1.0, [&] { go(); });
+      e.scheduleDaemon(2.0, [&x] { use(x); });
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R10"), 2);
+  EXPECT_TRUE(ruleMessageContains(r, "R10", "Engine::schedule"));
+  EXPECT_TRUE(ruleMessageContains(r, "R10", "'&x'"));
+}
+
+TEST(LintR10, ValueThisAndInitCapturesAreSilent) {
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    class Timer {
+     public:
+      void arm() {
+        engine_->schedule(1.0, [this, n = count_] { tick(n); });
+        engine_->scheduleAt(2.0, [count = count_] { report(count); });
+      }
+
+     private:
+      sim::Engine* engine_ = nullptr;
+      int count_ = 0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R10"), 0);
+}
+
+TEST(LintR10, LambdaNestedInsideAnotherCallIsNotAScheduleArg) {
+  // The [&] sits at paren depth 2 (argument of makeCb, not of schedule):
+  // whatever makeCb does with it is its own contract.
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    void arm(sim::Engine& e) {
+      e.schedule(1.0, makeCb([&] { go(); }));
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R10"), 0);
+}
+
+TEST(LintR10, BenchDriversAreOutOfScope) {
+  // bench mains own their frames and join before return — even --selfcheck
+  // leaves R10 src-only.
+  const auto r = lintOne("bench/foo.cpp", R"cpp(
+    void drive(sim::Engine& e, int x) {
+      e.schedule(1.0, [&x] { use(x); });
+    }
+  )cpp",
+                         AnalyzeOptions{true});
+  EXPECT_EQ(countRule(r, "R10"), 0);
+}
+
+TEST(LintR10, Suppressed) {
+  const auto r = lintOne("src/grid/foo.cpp", R"cpp(
+    void arm(sim::Engine& e) {
+      // grads-lint: allow(R10 frame joined before return - fixture)
+      e.schedule(0.0, [&] { go(); });
+    }
+  )cpp");
+  EXPECT_EQ(countRule(r, "R10", true), 1);
+  EXPECT_EQ(countRule(r, "R10", false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R11 — engine-affinity.
+// ---------------------------------------------------------------------------
+
+TEST(LintR11, InternalLinkageFnTouchingAffineStateIsFlagged) {
+  const auto r = lintOne("src/sim/clock.cpp", R"cpp(
+    // grads: affinity(engine)
+    class Clock {
+     public:
+      void tick();
+
+     private:
+      double now_ = 0.0;
+    };
+
+    namespace {
+    void poke(Clock* c) { c->now_ += 1.0; }
+    }  // namespace
+  )cpp");
+  EXPECT_EQ(countRule(r, "R11"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R11", "affinity(engine)"));
+  EXPECT_TRUE(ruleMessageContains(r, "R11", "'poke'"));
+}
+
+TEST(LintR11, MethodCallsAndExternalLinkageFnsAreSilent) {
+  const auto r = lintOne("src/sim/clock.cpp", R"cpp(
+    // grads: affinity(engine)
+    class Clock {
+     public:
+      void tick();
+
+     private:
+      double now_ = 0.0;
+    };
+
+    namespace {
+    void pump(Clock* c) { c->tick(); }  // a method call, not a member poke
+    }  // namespace
+
+    void pokePublic(Clock* c) { c->now_ += 1.0; }  // external linkage
+  )cpp");
+  EXPECT_EQ(countRule(r, "R11"), 0);
+}
+
+TEST(LintR11, CrossAffinityClassAccessIsFlagged) {
+  const auto r = lintOne("src/sim/clock.cpp", R"cpp(
+    // grads: affinity(engine)
+    class Clock {
+     public:
+      void tick();
+
+     private:
+      double now_ = 0.0;
+    };
+
+    // grads: affinity(metrics)
+    class Probe {
+     public:
+      void sample(Clock* c) { last_ = c->now_; }
+
+     private:
+      double last_ = 0.0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R11"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R11", "cross-affinity"));
+}
+
+TEST(LintR11, SameTagAndOwnMemberShadowAreSilent) {
+  const auto r = lintOne("src/sim/clock.cpp", R"cpp(
+    // grads: affinity(engine)
+    class Clock {
+     private:
+      double now_ = 0.0;
+    };
+
+    // grads: affinity(engine)
+    class Reader {
+     public:
+      void sample(Clock* c) { last_ = c->now_; }  // same tag: fine
+
+     private:
+      double last_ = 0.0;
+    };
+
+    // grads: affinity(metrics)
+    class Mirror {
+     public:
+      void sync(Mirror* peer) { peer->now_ = 0.0; }  // our own member
+
+     private:
+      double now_ = 0.0;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R11"), 0);
+}
+
+TEST(LintR11, Suppressed) {
+  const auto r = lintOne("src/sim/clock.cpp", R"cpp(
+    // grads: affinity(engine)
+    class Clock {
+     private:
+      double now_ = 0.0;
+    };
+
+    namespace {
+    double read(const Clock* c) {
+      // grads-lint: allow(R11 read-only probe - fixture)
+      return c->now_;
+    }
+    }  // namespace
+  )cpp");
+  EXPECT_EQ(countRule(r, "R11", true), 1);
+  EXPECT_EQ(countRule(r, "R11", false), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Suppression machinery.
 // ---------------------------------------------------------------------------
 
@@ -613,6 +1063,110 @@ TEST(LintLexer, MacroDefinitionsAreNotCode) {
   // instead. (GRADS_REQUIRE's own definition stays lintable for the same
   // reason.)
   EXPECT_EQ(countRule(r, "R1"), 0);
+}
+
+TEST(LintLexer, UserDefinedLiterals) {
+  const auto r = lintOne("src/core/foo.cpp", R"cpp(
+    constexpr double kWork = 1'000'000.5;
+    auto budget = 2'500_flops;       // UDL suffix glues to the pp-number
+    auto label = "qr"_channel;       // string UDL
+    srand(1);
+  )cpp");
+  EXPECT_EQ(countRule(r, "R1"), 1);  // only the real srand survives lexing
+}
+
+TEST(LintLexer, NestedTemplateAnglesInMemberDecls) {
+  // The member parser must carry `slices_` (and only it) through the nested
+  // angle brackets — R9's verdict proves the declarator was found.
+  const auto r = lintOne("src/core/table.hpp", R"cpp(
+    #pragma once
+    class Table {
+     public:
+      void encodeState(core::Codec& c) const { c.put(names_); }
+      void decodeState(core::Codec& c) { c.get(names_); }
+
+     private:
+      std::map<std::pair<std::string, int>, std::vector<double>> slices_;
+      std::vector<std::string> names_;
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9"), 1);
+  EXPECT_TRUE(ruleMessageContains(r, "R9", "slices_"));
+}
+
+TEST(LintLexer, BracedDefaultMemberInitializers) {
+  // `taps_{1, 2, 3}` must parse as a default member initializer, not a
+  // function body — both members are covered, so R9 stays silent.
+  const auto r = lintOne("src/core/buf.hpp", R"cpp(
+    #pragma once
+    class Buf {
+     public:
+      void encodeState(core::Codec& c) const {
+        c.put(taps_);
+        c.put(limit_);
+      }
+      void decodeState(core::Codec& c) {
+        c.get(taps_);
+        c.get(limit_);
+      }
+
+     private:
+      std::vector<int> taps_{1, 2, 3};
+      double limit_{0.5};
+    };
+  )cpp");
+  EXPECT_EQ(countRule(r, "R9"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF emission.
+// ---------------------------------------------------------------------------
+
+TEST(Sarif, EmitsRulesResultsAndSuppressions) {
+  TreeReport r;
+  r.findings.push_back(Finding{"src/core/foo.cpp", 12, "R1", "error",
+                               "ambient \"clock\" call", false, {}});
+  r.findings.push_back(Finding{"src/util/log.cpp", 11, "R7", "error",
+                               "static cfg", true, "logging singleton"});
+  r.filesScanned = 2;
+
+  std::ostringstream os;
+  grads::lint::writeSarif(os, r);
+  const std::string s = os.str();
+
+  EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(s.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"grads-lint\""), std::string::npos);
+  // Every rule id is present in the driver metadata.
+  for (int i = 1; i <= 11; ++i) {
+    EXPECT_NE(s.find("{\"id\": \"R" + std::to_string(i) + "\""),
+              std::string::npos)
+        << "driver rule R" << i;
+  }
+  // The finding: id, location, line, and JSON-escaped message.
+  EXPECT_NE(s.find("\"ruleId\": \"R1\""), std::string::npos);
+  EXPECT_NE(s.find("\"uri\": \"src/core/foo.cpp\""), std::string::npos);
+  EXPECT_NE(s.find("\"uriBaseId\": \"%SRCROOT%\""), std::string::npos);
+  EXPECT_NE(s.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(s.find("ambient \\\"clock\\\" call"), std::string::npos);
+  // The waived finding carries an inSource suppression with the reason.
+  EXPECT_NE(s.find("\"kind\": \"inSource\""), std::string::npos);
+  EXPECT_NE(s.find("\"justification\": \"logging singleton\""),
+            std::string::npos);
+}
+
+TEST(Sarif, EscapesControlCharactersAndBackslashes) {
+  TreeReport r;
+  r.findings.push_back(Finding{"src/core/foo.cpp", 0, "R5", "error",
+                               "path\\with\nnewline\tand\x01" "ctl", false,
+                               {}});
+  std::ostringstream os;
+  grads::lint::writeSarif(os, r);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("path\\\\with\\nnewline\\tand\\u0001ctl"),
+            std::string::npos);
+  // Line 0 is clamped to 1 — SARIF regions are 1-based.
+  EXPECT_NE(s.find("\"startLine\": 1"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

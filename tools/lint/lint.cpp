@@ -1,9 +1,13 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 namespace grads::lint {
 
@@ -28,15 +32,36 @@ std::string slurp(const fs::path& p) {
   return ss.str();
 }
 
-void appendReport(TreeReport& tree, FileReport&& file) {
-  tree.findings.insert(tree.findings.end(),
-                       std::make_move_iterator(file.findings.begin()),
-                       std::make_move_iterator(file.findings.end()));
-  tree.suppressions.insert(
-      tree.suppressions.end(),
-      std::make_move_iterator(file.suppressions.begin()),
-      std::make_move_iterator(file.suppressions.end()));
-  ++tree.filesScanned;
+/// Phase 2 + report assembly: merge the per-file analyses (already in
+/// sorted-path order), run the tree-wide symbol rules, match waivers, and
+/// give the findings one deterministic global order.
+TreeReport assemble(std::vector<FileAnalysis>&& files,
+                    const AnalyzeOptions& opts) {
+  TreeReport tree;
+  std::vector<FileSymbols> symbols;
+  symbols.reserve(files.size());
+  for (FileAnalysis& a : files) {
+    tree.findings.insert(tree.findings.end(),
+                         std::make_move_iterator(a.report.findings.begin()),
+                         std::make_move_iterator(a.report.findings.end()));
+    tree.suppressions.insert(
+        tree.suppressions.end(),
+        std::make_move_iterator(a.report.suppressions.begin()),
+        std::make_move_iterator(a.report.suppressions.end()));
+    symbols.push_back(std::move(a.symbols));
+  }
+  tree.filesScanned = static_cast<int>(files.size());
+
+  runTreeRules(symbols, opts, tree.findings);
+  matchSuppressions(tree.findings, tree.suppressions);
+
+  std::sort(tree.findings.begin(), tree.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return tree;
 }
 
 }  // namespace
@@ -51,8 +76,7 @@ int TreeReport::suppressedCount() const {
   return static_cast<int>(findings.size()) - unsuppressedCount();
 }
 
-TreeReport lintTree(const fs::path& root) {
-  TreeReport tree;
+TreeReport lintTree(const fs::path& root, const AnalyzeOptions& opts) {
   std::vector<fs::path> files;
   for (const char* sub : kScanRoots) {
     const fs::path dir = root / sub;
@@ -64,20 +88,46 @@ TreeReport lintTree(const fs::path& root) {
     }
   }
   std::sort(files.begin(), files.end());  // directory order is OS-dependent
-  for (const fs::path& p : files) {
-    const std::string rel = fs::relative(p, root).generic_string();
-    appendReport(tree, analyzeSource(rel, slurp(p)));
-  }
+
+  // Worker pool over the sorted list: workers pull indices from an atomic
+  // counter and write into per-index slots, so the merged result is
+  // identical to a sequential scan no matter how the pool interleaves.
+  const auto start = std::chrono::steady_clock::now();
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned workers = std::max(1u, std::min(hw == 0 ? 1u : hw, 8u));
+  std::vector<FileAnalysis> results(files.size());
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= files.size()) return;
+      const std::string rel = fs::relative(files[i], root).generic_string();
+      results[i] = analyzeFile(rel, slurp(files[i]), opts);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (std::thread& th : pool) th.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  TreeReport tree = assemble(std::move(results), opts);
+  // Wall time goes to stderr: stdout is the canonical, diffable report.
+  std::cerr << "grads-lint: scanned " << tree.filesScanned << " files on "
+            << workers << " worker(s) in " << elapsed.count() << " ms\n";
   return tree;
 }
 
 TreeReport lintSources(
-    const std::vector<std::pair<std::string, std::string>>& files) {
-  TreeReport tree;
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const AnalyzeOptions& opts) {
+  std::vector<FileAnalysis> results;
+  results.reserve(files.size());
   for (const auto& [path, content] : files) {
-    appendReport(tree, analyzeSource(path, content));
+    results.push_back(analyzeFile(path, content, opts));
   }
-  return tree;
+  return assemble(std::move(results), opts);
 }
 
 int printReport(std::ostream& os, const TreeReport& report) {

@@ -19,12 +19,19 @@ struct TreeReport {
 };
 
 /// Lints every .hpp/.cpp under the scan roots (src, bench, tests, tools,
-/// examples) of `root`. Paths in findings are repo-relative.
-TreeReport lintTree(const std::filesystem::path& root);
+/// examples) of `root`. Paths in findings are repo-relative. File lexing and
+/// per-file analysis run on a small worker pool; output is deterministic
+/// (files are processed into slots in sorted-path order, findings get a
+/// final global sort), and the wall time is reported on stderr.
+TreeReport lintTree(const std::filesystem::path& root,
+                    const AnalyzeOptions& opts = {});
 
 /// Lints in-memory (path, content) pairs — the unit-test entry point.
+/// Runs the same two-phase pipeline (R1–R6 per file, then R7–R11 over the
+/// merged symbol models) sequentially.
 TreeReport lintSources(
-    const std::vector<std::pair<std::string, std::string>>& files);
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const AnalyzeOptions& opts = {});
 
 /// Human-readable report: unsuppressed findings first, then the suppression
 /// inventory (used waivers with reasons, and stale waivers that matched

@@ -1,27 +1,44 @@
-// grads-lint — determinism & safety static analysis for the GrADS tree.
+// grads-lint — determinism & shard-readiness static analysis for the
+// GrADS tree.
 //
-// Tokenizes every .hpp/.cpp under src/ bench/ tests/ tools/ examples/
-// (comment- and string-aware, no compiler dependency) and enforces the
-// project's determinism invariants R1–R5 (see DESIGN.md). Inline waivers
-// (`grads-lint: allow(RULE reason)`) suppress a finding but stay visible
-// in the printed inventory; stale waivers are reported too.
+// Phase 1 tokenizes every .hpp/.cpp under src/ bench/ tests/ tools/
+// examples/ (comment- and string-aware, no compiler dependency) on a small
+// worker pool, runs the lexical rules R1–R6, and builds a per-file symbol
+// model (classes with data members, include graph, statics, engine-bound
+// lambda captures). Phase 2 runs the symbol rules R7–R11 over the merged
+// model (see DESIGN.md §12). Inline waivers (`grads-lint: allow(RULE
+// reason)`) suppress a finding but stay visible in the printed inventory;
+// stale waivers are reported too.
 //
-// Usage: grads-lint [--root DIR]
+// Usage: grads-lint [--root DIR] [--selfcheck] [--sarif FILE]
+//   --selfcheck  widen R7/R9/R11 from src/ to bench/ and tools/ as well
+//   --sarif FILE also write the report as SARIF 2.1.0 (for GitHub inline
+//                PR annotations); suppressed findings carry inSource
+//                suppression objects
 // Exit:  0 = clean (unsuppressed findings == 0), 1 = findings, 2 = usage.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "lint.hpp"
+#include "sarif.hpp"
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string sarifPath;
+  grads::lint::AnalyzeOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarifPath = argv[++i];
+    } else if (arg == "--selfcheck") {
+      opts.selfcheck = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: grads-lint [--root DIR]\n";
+      std::cout << "usage: grads-lint [--root DIR] [--selfcheck] "
+                   "[--sarif FILE]\n";
       return 0;
     } else {
       std::cerr << "grads-lint: unknown argument '" << arg << "'\n";
@@ -29,7 +46,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto report = grads::lint::lintTree(root);
+  const auto report = grads::lint::lintTree(root, opts);
   const int unsuppressed = grads::lint::printReport(std::cout, report);
+
+  if (!sarifPath.empty()) {
+    std::ofstream out(sarifPath, std::ios::binary);
+    if (!out) {
+      std::cerr << "grads-lint: cannot write SARIF to '" << sarifPath
+                << "'\n";
+      return 2;
+    }
+    grads::lint::writeSarif(out, report);
+  }
   return unsuppressed == 0 ? 0 : 1;
 }

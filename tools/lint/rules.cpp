@@ -449,30 +449,8 @@ constexpr string_view kBannedHeaders[] = {
     "shared_mutex", "stop_token",
 };
 
-/// Extracts the header name from an `#include` directive token, or empty.
-string_view includeTarget(string_view directive) {
-  std::size_t i = 0;
-  auto skipWs = [&] {
-    while (i < directive.size() &&
-           (directive[i] == ' ' || directive[i] == '\t')) {
-      ++i;
-    }
-  };
-  if (i >= directive.size() || directive[i] != '#') return {};
-  ++i;
-  skipWs();
-  if (!startsWith(directive.substr(i), "include")) return {};
-  i += 7;
-  skipWs();
-  if (i >= directive.size()) return {};
-  const char open = directive[i];
-  const char closeCh = open == '<' ? '>' : (open == '"' ? '"' : '\0');
-  if (closeCh == '\0') return {};
-  const std::size_t begin = ++i;
-  const std::size_t end = directive.find(closeCh, begin);
-  if (end == string_view::npos) return {};
-  return directive.substr(begin, end - begin);
-}
+// (Include-target extraction lives in symbols.cpp — shared with the symbol
+// model's include-graph pass.)
 
 void ruleR5(Ctx& c) {
   // Header hygiene applies to every header in the tree.
@@ -707,13 +685,253 @@ std::vector<Suppression> parseSuppressions(const std::string& relPath,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// R7–R11 — shard-readiness rules over the phase-1 symbol model.
+// ---------------------------------------------------------------------------
+
+void addSym(std::vector<Finding>& out, const std::string& file, int line,
+            const char* rule, std::string msg) {
+  out.push_back(Finding{file, line, rule, "error", std::move(msg), false, {}});
+}
+
+/// Scope for the symbol rules: src/ always; bench/ and tools/ under
+/// --selfcheck so the analyzer and the benches obey their own invariants.
+/// tests/ is never in scope — fixtures there break rules on purpose.
+bool symScope(string_view path, const AnalyzeOptions& opts) {
+  return startsWith(path, "src/") ||
+         (opts.selfcheck &&
+          (startsWith(path, "bench/") || startsWith(path, "tools/")));
+}
+
+// R7 — mutable static / thread_local state.
+
+void ruleR7(const FileSymbols& f, const AnalyzeOptions& opts,
+            std::vector<Finding>& out) {
+  if (!symScope(f.path, opts)) return;
+  for (const StaticVarSym& s : f.statics) {
+    if (s.threadLocal) {
+      addSym(out, f.path, s.line, "R7",
+             "thread_local variable '" + s.name +
+                 "' — per-thread state is invisible to snapshots and pins "
+                 "behaviour to whichever thread ran first; keep state "
+                 "engine-owned");
+      continue;
+    }
+    if (s.isConst) continue;
+    const char* scope = s.namespaceScope ? "file/namespace-scope static"
+                        : s.classScope   ? "mutable static data member"
+                                         : "function-local static";
+    addSym(out, f.path, s.line, "R7",
+           std::string(scope) + " '" + s.name +
+               "' is shared mutable state — future shards would race on it; "
+               "move it into an engine-owned type (documented singletons "
+               "may carry a waiver)");
+  }
+}
+
+// R8 — architecture layering DAG over the include graph.
+
+/// Layer ranks, longest-prefix match. An include may only point at an equal
+/// or lower rank. File-granular overrides come before their directory: the
+/// core/ composition roots (AppManager, Binder) sit above the services they
+/// wire together, and core/cop (the launch pipeline) sits at the workflow
+/// layer it drives.
+struct LayerEntry {
+  string_view prefix;
+  int rank;
+};
+constexpr LayerEntry kLayers[] = {
+    {"src/util/", 0},
+    {"src/sim/", 1},
+    {"src/linalg/", 1},
+    {"src/core/app_manager", 9},
+    {"src/core/binder", 9},
+    {"src/core/cop", 7},
+    {"src/core/", 2},
+    {"src/grid/", 3},
+    {"src/autopilot/", 4},
+    {"src/services/", 5},
+    {"src/mem/", 5},
+    {"src/microgrid/", 5},
+    {"src/perfmodel/", 6},
+    {"src/vmpi/", 6},
+    {"src/workflow/", 7},
+    {"src/reschedule/", 8},
+    {"src/metasched/", 10},
+    {"src/apps/", 10},
+};
+
+int layerRank(string_view path) {
+  int best = -1;
+  std::size_t bestLen = 0;
+  for (const LayerEntry& e : kLayers) {
+    if (startsWith(path, e.prefix) && e.prefix.size() > bestLen) {
+      best = e.rank;
+      bestLen = e.prefix.size();
+    }
+  }
+  return best;
+}
+
+void ruleR8(const FileSymbols& f, std::vector<Finding>& out) {
+  if (!startsWith(f.path, "src/")) return;  // bench/tests/tools sit on top
+  const int srcRank = layerRank(f.path);
+  if (srcRank < 0) return;
+  for (const IncludeSym& inc : f.includes) {
+    // Project includes are src/-relative ("grid/node.hpp"); system headers
+    // and tool-local includes never resolve to a layer.
+    std::string target = inc.target;
+    if (!startsWith(target, "src/")) target = "src/" + target;
+    const int dstRank = layerRank(target);
+    if (dstRank < 0 || dstRank <= srcRank) continue;
+    addSym(out, f.path, inc.line, "R8",
+           "include of '" + inc.target + "' (layer " +
+               std::to_string(dstRank) + ") from layer " +
+               std::to_string(srcRank) +
+               " inverts the architecture DAG (util → sim → core → grid → "
+               "services → {perfmodel, workflow, vmpi} → reschedule → "
+               "{metasched, autopilot, apps}) — depend downward or via a "
+               "forward declaration");
+  }
+}
+
+// R9 — snapshot field coverage.
+
+void ruleR9(const std::vector<FileSymbols>& files, const AnalyzeOptions& opts,
+            std::vector<Finding>& out) {
+  std::vector<const ClassSym*> classes;
+  for (const FileSymbols& f : files) {
+    for (const ClassSym& c : f.classes) classes.push_back(&c);
+  }
+  for (const FileSymbols& f : files) {
+    for (const MethodSym& m : f.methods) {
+      if (m.name != "encodeState") continue;
+      // Join the definition back to its class: same-file wins, otherwise a
+      // unique cross-file match (header class, out-of-line methods); an
+      // ambiguous name is skipped rather than guessed.
+      const ClassSym* sameFile = nullptr;
+      const ClassSym* any = nullptr;
+      int count = 0;
+      for (const ClassSym* c : classes) {
+        if (c->name != m.className) continue;
+        ++count;
+        any = c;
+        if (c->file == m.file) sameFile = c;
+      }
+      const ClassSym* cls = sameFile ? sameFile : (count == 1 ? any : nullptr);
+      if (cls == nullptr || !symScope(cls->file, opts)) continue;
+
+      for (const MemberSym& mem : cls->members) {
+        if (mem.transient) {
+          if (mem.transientReason.empty()) {
+            addSym(out, cls->file, mem.line, "R9",
+                   "transient annotation on '" + mem.name +
+                       "' needs a reason: `// grads: transient(why)`");
+          }
+          continue;
+        }
+        if (std::find(m.bodyIdents.begin(), m.bodyIdents.end(), mem.name) ==
+            m.bodyIdents.end()) {
+          addSym(out, cls->file, mem.line, "R9",
+                 "field '" + mem.name + "' of '" + cls->name +
+                     "' is not referenced in " + cls->name +
+                     "::encodeState (" + m.file + ":" +
+                     std::to_string(m.line) +
+                     ") — snapshot it or mark `// grads: transient(reason)`");
+        }
+      }
+    }
+  }
+}
+
+// R10 — by-reference captures handed to the engine.
+
+void ruleR10(const FileSymbols& f, std::vector<Finding>& out) {
+  if (!startsWith(f.path, "src/")) return;  // bench drivers own their frames
+  for (const CaptureSym& cap : f.captures) {
+    if (cap.defaultRef) {
+      addSym(out, f.path, cap.line, "R10",
+             "[&] default capture in callback handed to Engine::" +
+                 cap.callee +
+                 " — the enclosing frame is gone when the event fires; "
+                 "capture explicit values, stable handles, or this");
+    }
+    for (const std::string& n : cap.refCaptures) {
+      addSym(out, f.path, cap.line, "R10",
+             "by-reference capture '&" + n +
+                 "' in callback handed to Engine::" + cap.callee +
+                 " — capture a value or a stable handle to engine-owned "
+                 "state instead");
+    }
+  }
+}
+
+// R11 — engine-affinity violations.
+
+void ruleR11(const std::vector<FileSymbols>& files, const AnalyzeOptions& opts,
+             std::vector<Finding>& out) {
+  std::vector<const ClassSym*> affine;
+  for (const FileSymbols& f : files) {
+    for (const ClassSym& c : f.classes) {
+      if (!c.affinity.empty()) affine.push_back(&c);
+    }
+  }
+  if (affine.empty()) return;
+
+  auto owner = [&affine](const std::string& name) -> const ClassSym* {
+    for (const ClassSym* c : affine) {
+      for (const MemberSym& m : c->members) {
+        if (m.name == name) return c;
+      }
+    }
+    return nullptr;
+  };
+
+  for (const FileSymbols& f : files) {
+    if (!symScope(f.path, opts)) continue;
+    for (const StaticFnSym& fn : f.staticFns) {
+      for (const auto& [name, line] : fn.memberAccesses) {
+        if (const ClassSym* c = owner(name)) {
+          addSym(out, f.path, line, "R11",
+                 "internal-linkage function '" + fn.name + "' touches '" +
+                     name + "' of engine-affine type '" + c->name +
+                     "' (affinity(" + c->affinity +
+                     ")) — route the access through the owning engine's "
+                     "context");
+        }
+      }
+    }
+    for (const ClassSym& cls : f.classes) {
+      if (cls.affinity.empty()) continue;
+      for (const auto& [name, line] : cls.memberAccesses) {
+        const ClassSym* c = owner(name);
+        if (c == nullptr || c == &cls || c->affinity == cls.affinity) continue;
+        // A same-named member of this class shadows the match: touching our
+        // own field through a pointer is not a cross-affinity access.
+        const bool own = std::any_of(
+            cls.members.begin(), cls.members.end(),
+            [&name](const MemberSym& m) { return m.name == name; });
+        if (own) continue;
+        addSym(out, f.path, line, "R11",
+               "type '" + cls.name + "' (affinity(" + cls.affinity +
+                   ")) touches '" + name + "' of '" + c->name +
+                   "' (affinity(" + c->affinity +
+                   ")) — cross-affinity state wants a message or a handle, "
+                   "not a member poke");
+      }
+    }
+  }
+}
+
 }  // namespace
 
-FileReport analyzeSource(const std::string& relPath, std::string_view content) {
-  FileReport report;
+FileAnalysis analyzeFile(const std::string& relPath, std::string_view content,
+                         const AnalyzeOptions& opts) {
+  (void)opts;  // per-file rules are scope-stable; opts gates the tree rules
+  FileAnalysis a;
   const LexResult lexed = lex(content);
 
-  Ctx c{relPath, lexed.tokens, report.findings};
+  Ctx c{relPath, lexed.tokens, a.report.findings};
   c.inSrc = startsWith(relPath, "src/");
   c.inBench = startsWith(relPath, "bench/");
   c.isHeader = endsWith(relPath, ".hpp") || endsWith(relPath, ".h");
@@ -725,10 +943,29 @@ FileReport analyzeSource(const std::string& relPath, std::string_view content) {
   ruleR5(c);
   ruleR6(c);
 
-  report.suppressions = parseSuppressions(relPath, lexed.comments);
-  for (Finding& f : report.findings) {
-    for (Suppression& s : report.suppressions) {
-      if (s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)) {
+  a.report.suppressions = parseSuppressions(relPath, lexed.comments);
+  a.symbols = buildSymbols(relPath, lexed);
+  return a;
+}
+
+void runTreeRules(const std::vector<FileSymbols>& files,
+                  const AnalyzeOptions& opts, std::vector<Finding>& out) {
+  for (const FileSymbols& f : files) {
+    ruleR7(f, opts, out);
+    ruleR8(f, out);
+    ruleR10(f, out);
+  }
+  ruleR9(files, opts, out);
+  ruleR11(files, opts, out);
+}
+
+void matchSuppressions(std::vector<Finding>& findings,
+                       std::vector<Suppression>& suppressions) {
+  for (Finding& f : findings) {
+    if (f.suppressed) continue;
+    for (Suppression& s : suppressions) {
+      if (s.file == f.file && s.rule == f.rule &&
+          (s.line == f.line || s.line + 1 == f.line)) {
         f.suppressed = true;
         f.suppressReason = s.reason;
         s.used = true;
@@ -736,12 +973,6 @@ FileReport analyzeSource(const std::string& relPath, std::string_view content) {
       }
     }
   }
-  std::sort(report.findings.begin(), report.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return report;
 }
 
 }  // namespace grads::lint

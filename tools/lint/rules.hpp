@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lexer.hpp"
+#include "symbols.hpp"
 
 namespace grads::lint {
 
@@ -12,7 +13,7 @@ namespace grads::lint {
 struct Finding {
   std::string file;  ///< repo-relative path, forward slashes
   int line = 0;
-  std::string rule;      ///< "R1".."R6"
+  std::string rule;      ///< "R1".."R11"
   std::string severity;  ///< "error" (all shipped rules fail CI)
   std::string message;
   bool suppressed = false;
@@ -34,7 +35,24 @@ struct FileReport {
   std::vector<Suppression> suppressions;
 };
 
-/// Rule catalogue (see DESIGN.md "Determinism invariants"):
+/// Per-run options. `selfcheck` widens the shard-readiness rules (R7, R9,
+/// R11) from src/ to bench/ and tools/ as well — the grads_lint_selfcheck
+/// ctest entry runs with it so the analyzer's own code and the benches obey
+/// the same invariants they enforce.
+struct AnalyzeOptions {
+  bool selfcheck = false;
+};
+
+/// Phase-1 output for one file: the lexical findings (R1–R6) plus the symbol
+/// model the tree-wide rules (R7–R11) consume. Suppressions are parsed but
+/// not yet matched — matching happens after tree rules run, so waivers cover
+/// symbol-rule findings too (see matchSuppressions).
+struct FileAnalysis {
+  FileReport report;
+  FileSymbols symbols;
+};
+
+/// Rule catalogue (see DESIGN.md §12 "Static shard-readiness invariants"):
 ///   R1  wall-clock & ambient randomness banned in src/ (only util/rng
 ///       produces randomness; bench/ owns its own timing).
 ///   R2  address-order nondeterminism: pointer-keyed associative containers,
@@ -46,13 +64,38 @@ struct FileReport {
 ///       engine hot paths already converted to sim::InlineFn.
 ///   R5  include hygiene: banned headers in src/, #pragma once in headers,
 ///       no parent-relative includes, no using-namespace in headers.
-///   R6  snapshot field symmetry: a class defining both encodeState and
-///       decodeState (core/snapshot.hpp) must have the same number of
-///       SnapshotWriter put* call sites as SnapshotReader get* call sites —
-///       an asymmetric pair silently corrupts restore past the tag checks.
+///   R6  snapshot put*/get* call-site symmetry between encodeState and
+///       decodeState of the same class (core/snapshot.hpp).
+///   R7  mutable static / thread_local state in src/ — shared mutable
+///       statics are the shard-killer; const/constexpr are exempt,
+///       documented singletons carry waivers.
+///   R8  architecture layering DAG over the include graph: an include may
+///       only point at the same or a lower layer (util → sim → core → grid
+///       → ... → apps); upward or cyclic includes break the shard seam.
+///   R9  snapshot field coverage: every data member of a class defining
+///       encodeState must be referenced in its body or carry a
+///       `// grads: transient(reason)` annotation.
+///   R10 by-reference lambda captures ([&] or &name, this excluded) in
+///       callbacks handed to Engine scheduling/emission call sites.
+///   R11 engine-affinity: members of types annotated
+///       `// grads: affinity(tag)` must not be touched from
+///       internal-linkage free functions or from types with a different
+///       affinity tag.
 ///
 /// `relPath` selects which rules apply (src/ vs bench/ vs tests/ etc.) and
 /// which per-path allowlists fire; it must use forward slashes.
-FileReport analyzeSource(const std::string& relPath, std::string_view content);
+FileAnalysis analyzeFile(const std::string& relPath, std::string_view content,
+                         const AnalyzeOptions& opts = {});
+
+/// Phase 2: the symbol rules R7–R11 over every file's symbol model at once
+/// (R9 and R11 need cross-file joins: classes in headers, methods and
+/// free functions in .cpp files). Appends to `out`.
+void runTreeRules(const std::vector<FileSymbols>& files,
+                  const AnalyzeOptions& opts, std::vector<Finding>& out);
+
+/// Marks findings covered by a waiver on the same file whose line matches
+/// the annotation's own line or the next line, and flags used waivers.
+void matchSuppressions(std::vector<Finding>& findings,
+                       std::vector<Suppression>& suppressions);
 
 }  // namespace grads::lint

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "lint.hpp"
+
+namespace grads::lint {
+
+/// Writes the report as SARIF 2.1.0 (the format GitHub code scanning
+/// ingests for inline PR annotations). Suppressed findings are included
+/// with an `inSource` suppression object so waivers stay visible in the
+/// scanning UI instead of silently vanishing.
+void writeSarif(std::ostream& os, const TreeReport& report);
+
+}  // namespace grads::lint
